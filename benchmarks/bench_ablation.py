@@ -1,0 +1,167 @@
+"""Ablations of MatRox's design choices (DESIGN.md section 5).
+
+Not a paper figure — sensitivity sweeps over the parameters the paper fixes:
+* agg (coarsen aggregation, paper 2),
+* near blocksize (paper 2),
+* first-fit bin-packing vs naive round-robin sub-tree assignment,
+* root-iteration peeling on/off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import build_blockset, build_coarsenset
+from repro.analysis.binpack import bin_loads
+from repro.analysis.coarsening import node_heights
+from repro.analysis.structure_sets import CoarsenLevel, CoarsenSet, SubTree
+from repro.baselines import MatRoxSystem
+from repro.runtime import HASWELL
+from repro.runtime.simulator import simulate_phases
+from repro.runtime.tasks import matrox_phases
+from repro.storage import build_cds
+
+from conftest import BENCH_Q, PAPER_P, fmt, print_table, save_results, scaled_machine
+
+
+def _simulate_with(pipelines, name, coarsenset=None, near_bs=None,
+                   peel=True):
+    H, p1, insp, points, _k = pipelines.get(name, "h2-b")
+    machine = scaled_machine(HASWELL, len(points))
+    cs = coarsenset if coarsenset is not None else H.cds.coarsenset
+    nb = (build_blockset(p1.htree, near_bs, kind="near")
+          if near_bs is not None else H.cds.near_blockset)
+    cds = build_cds(H.factors, cs, nb, H.cds.far_blockset)
+    from repro.codegen.lowering import LoweringDecision
+
+    base = H.evaluator.decision
+    decision = LoweringDecision(
+        block_near=base.block_near, block_far=base.block_far,
+        coarsen=base.coarsen, peel_root=peel and base.peel_root,
+        block_threshold=base.block_threshold,
+        far_block_threshold=base.far_block_threshold,
+        coarsen_threshold=base.coarsen_threshold)
+    phases = matrox_phases(cds, BENCH_Q, decision=decision)
+    loc = MatRoxSystem(H).locality(machine)
+    return simulate_phases(phases, machine, p=PAPER_P, locality=loc).time_s
+
+
+def test_ablation_agg(pipelines, benchmark):
+    """agg sweep: more aggregation = fewer barriers but coarser balance."""
+    name = "grid"
+    H, p1, insp, points, _k = pipelines.get(name, "h2-b")
+
+    def run():
+        times = {}
+        for agg in (1, 2, 3, 4, 8):
+            cs = build_coarsenset(p1.tree, H.sranks, p=PAPER_P, agg=agg)
+            times[agg] = _simulate_with(pipelines, name, coarsenset=cs)
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        f"Ablation: coarsening agg ({name})",
+        ["agg", "time (ms)", "vs agg=2"],
+        [[a, fmt(t * 1e3), fmt(t / times[2])] for a, t in times.items()],
+    )
+    save_results("ablation_agg", {str(k): v for k, v in times.items()})
+    # The paper's default should be within 25% of the best choice.
+    assert times[2] <= min(times.values()) * 1.25
+
+
+def test_ablation_near_blocksize(pipelines, benchmark):
+    name = "susy"
+
+    def run():
+        return {bs: _simulate_with(pipelines, name, near_bs=bs)
+                for bs in (1, 2, 4, 8)}
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        f"Ablation: near blocksize ({name})",
+        ["blocksize", "time (ms)", "vs bs=2"],
+        [[b, fmt(t * 1e3), fmt(t / times[2])] for b, t in times.items()],
+    )
+    save_results("ablation_blocksize", {str(k): v for k, v in times.items()})
+    assert times[2] <= min(times.values()) * 1.3
+
+
+def test_ablation_binpacking(pipelines, benchmark):
+    """First-fit-decreasing bin-packing vs naive round-robin sub-trees."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    name = "grid"
+    H, p1, _insp, points, _k = pipelines.get(name, "h2-b")
+    tree, sranks = p1.tree, H.sranks
+
+    packed = build_coarsenset(tree, sranks, p=PAPER_P, agg=2)
+
+    # Round-robin variant: same disjoint sub-trees, dealt card-style.
+    from repro.analysis.cost_model import node_cost
+
+    rr_levels = []
+    heights = node_heights(tree)
+    for cl in packed.levels:
+        singles = [
+            SubTree(nodes=[v for v in st.nodes], cost=st.cost)
+            for st in cl.subtrees
+        ]
+        # Explode back to per-root sub-trees is not recoverable here; instead
+        # rebuild with p=1 partition granularity then deal round-robin.
+        rr_levels.append(cl)
+    rr = build_coarsenset(tree, sranks, p=PAPER_P, agg=2)
+    # Re-pack each level round-robin by replacing the bin-packed merge.
+    from repro.analysis.coarsening import _collect_subtree
+
+    active = sranks > 0
+    naive_levels = []
+    for cl in rr.levels:
+        roots = [r for st in cl.subtrees for r in st.roots]
+        bins = [[] for _ in range(min(PAPER_P, max(len(roots), 1)))]
+        for idx, root in enumerate(roots):
+            bins[idx % len(bins)].append(root)
+        subtrees = []
+        for b in bins:
+            nodes = []
+            for root in b:
+                nodes.extend(_collect_subtree(tree, root, cl.lb, heights,
+                                              active))
+            if nodes:
+                cost = sum(node_cost(tree, sranks, v) for v in nodes)
+                subtrees.append(SubTree(nodes=nodes, cost=cost, roots=b))
+        naive_levels.append(CoarsenLevel(lb=cl.lb, ub=cl.ub,
+                                         subtrees=subtrees))
+    naive = CoarsenSet(levels=naive_levels, agg=2, num_partitions=PAPER_P)
+
+    t_packed = _simulate_with(pipelines, name, coarsenset=packed)
+    t_naive = _simulate_with(pipelines, name, coarsenset=naive)
+    print(f"\nbin-packing ablation ({name}): LPT {t_packed*1e3:.2f}ms vs "
+          f"round-robin {t_naive*1e3:.2f}ms "
+          f"({t_naive/t_packed:.2f}x)")
+    # Cost-aware packing never loses to round-robin by more than noise.
+    assert t_packed <= t_naive * 1.05
+
+    # And the load spread is tighter.
+    for cl_p, cl_n in zip(packed.levels, naive.levels):
+        costs_p = [st.cost for st in cl_p.subtrees]
+        costs_n = [st.cost for st in cl_n.subtrees]
+        if len(costs_p) > 1 and len(costs_n) > 1 and sum(costs_n) > 0:
+            spread_p = max(costs_p) / (sum(costs_p) / len(costs_p))
+            spread_n = max(costs_n) / (sum(costs_n) / len(costs_n))
+            assert spread_p <= spread_n * 1.2
+
+
+def test_ablation_peeling(pipelines, benchmark):
+    """Root peeling: the paper's low-level transform (6.28% on HSS)."""
+    name = "unit"
+
+    def run():
+        return {
+            "peeled": _simulate_with(pipelines, name, peel=True),
+            "unpeeled": _simulate_with(pipelines, name, peel=False),
+        }
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    gain = times["unpeeled"] / times["peeled"]
+    print(f"\npeeling ablation ({name}): {times['unpeeled']*1e3:.2f}ms -> "
+          f"{times['peeled']*1e3:.2f}ms ({(gain-1)*100:.1f}% improvement)")
+    save_results("ablation_peeling", times)
+    assert gain >= 0.98  # never a significant regression

@@ -1,0 +1,115 @@
+"""Figure 10: inspection reuse over 5 accuracy changes (H2-b).
+
+The paper tunes bacc over {1e-1 .. 1e-5}: MatRox runs inspector_p1 once and
+re-runs only inspector_p2 + executor per change; GOFMM recompresses from
+scratch every time. Normalized total time is reported per dataset; the
+paper's averages: MatRox 2.21x faster than GOFMM, up to 2.64x on mnist
+(where sampling is 89.2% of compression and is fully reused).
+
+Inspector times come from the inspector flop-cost model on the simulated
+Haswell (consistent with Fig. 4); executor times from the machine simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GOFMMBaseline, MatRoxSystem
+from repro.compression.compressor import CompressionResult
+from repro.datasets import dataset_names
+from repro.metrics import inspector_cost_model, simulate_inspector_seconds
+from repro.runtime import HASWELL
+
+from conftest import BENCH_Q, PAPER_P, fmt, print_table, save_results, scaled_machine
+
+BACC_SWEEP = (1e-1, 1e-2, 1e-3, 1e-4, 1e-5)
+
+
+def reuse_times(pipelines, systems, name: str):
+    H0, p1, insp, points, kernel = pipelines.get(name, "h2-b")
+    machine = scaled_machine(HASWELL, len(points))
+
+    matrox_total = 0.0
+    gofmm_total = 0.0
+    p1_cost_done = False
+    for bacc in BACC_SWEEP:
+        H = insp.run_p2(p1, kernel, bacc=bacc)
+        res = CompressionResult(tree=p1.tree, htree=p1.htree, plan=p1.plan,
+                                factors=H.factors)
+        costs = inspector_cost_model(res)
+        stages = simulate_inspector_seconds(costs, machine, p=PAPER_P)
+        # Split compression: sampling + tree + interactions belong to p1
+        # (reusable); low-rank approx + layout belong to p2.
+        total_flops = costs.compression_flops
+        p1_frac = (costs.sampling_flops + costs.tree_flops) / total_flops
+        t_comp = stages["compression"]
+        t_p1 = t_comp * p1_frac
+        t_p2 = t_comp * (1 - p1_frac) + stages["structure_analysis"] + (
+            stages["code_generation"])
+        t_exec = MatRoxSystem(H).simulate(
+            H.factors, BENCH_Q, machine, p=PAPER_P).time_s
+        if not p1_cost_done:
+            matrox_total += t_p1
+            p1_cost_done = True
+        matrox_total += t_p2 + t_exec
+
+        # GOFMM pays the full compression every change.
+        t_go_exec = systems["gofmm"].simulate(
+            H.factors, BENCH_Q, machine, p=PAPER_P).time_s
+        gofmm_total += t_comp + t_go_exec
+
+    return {"matrox": matrox_total, "gofmm": gofmm_total,
+            "speedup": gofmm_total / matrox_total}
+
+
+def test_fig10_inspection_reuse(pipelines, systems, benchmark):
+    def run():
+        return {name: reuse_times(pipelines, systems, name)
+                for name in dataset_names()}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [name, fmt(r["matrox"] * 1e3), fmt(r["gofmm"] * 1e3),
+         fmt(r["speedup"])]
+        for name, r in results.items()
+    ]
+    print_table(
+        "Figure 10: 5 bacc changes, total time (ms, simulated Haswell)",
+        ["dataset", "matrox (p1 reused)", "gofmm (recompress)", "speedup"],
+        rows,
+    )
+    save_results("fig10", results)
+
+    speedups = [r["speedup"] for r in results.values()]
+    mean = float(np.mean(speedups))
+    print(f"  mean reuse speedup: {mean:.2f}x (paper: 2.21x), "
+          f"max: {max(speedups):.2f}x (paper: 2.64x on mnist)")
+    # Reuse must win on every dataset.
+    assert all(s > 1.0 for s in speedups)
+    assert mean > 1.3
+
+
+def test_fig10_mnist_sampling_dominates(pipelines, benchmark):
+    """mnist (780-dim): sampling is the dominant reusable compression cost
+    (89.2% in the paper), so it benefits most from reuse."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    H, p1, _insp, _points, _kernel = pipelines.get("mnist", "h2-b")
+    res = CompressionResult(tree=p1.tree, htree=p1.htree, plan=p1.plan,
+                            factors=H.factors)
+    costs = inspector_cost_model(res)
+    # The reusable p1 portion (sampling + tree) must be a substantial share,
+    # so reuse pays off. (At the paper's N=60k the exact-kNN N^2 d term makes
+    # this 89.2%; at bench scale the near-block assembly, also O(N^2)-ish,
+    # competes — the share is smaller but still significant.)
+    frac = (costs.sampling_flops + costs.tree_flops) / costs.compression_flops
+    print(f"\nmnist reusable (p1) share of compression flops: {frac:.2f}")
+    assert frac > 0.15
+    # And extrapolated to the paper's N (kNN is O(N^2 d), the rest O(N r^2)
+    # per point), sampling dominates:
+    scale = 60_000 / p1.tree.num_points
+    knn_paper = costs.sampling_flops * scale**2
+    rest_paper = (costs.lowrank_flops + costs.kernel_flops) * scale
+    frac_paper = knn_paper / (knn_paper + rest_paper)
+    print(f"extrapolated to N=60k: sampling share {frac_paper:.2f} "
+          f"(paper: 0.89)")
+    assert frac_paper > 0.8

@@ -1,0 +1,76 @@
+"""Figure 9: block accuracy (bacc) vs achieved overall accuracy eps_f.
+
+Real numerics, no simulation: for every dataset and bacc in {1e-1..1e-5},
+compress with H2-b and measure eps_f = ||K~W - KW||_F / ||KW||_F against
+the dense product. The paper's claims: overall accuracy tracks bacc only
+through a loose upper bound — with bacc = 1e-3 more than half the datasets
+miss 1e-3 overall — and tightening bacc tightens eps_f.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import overall_accuracy
+from repro.datasets import dataset_names
+
+from conftest import fmt, print_table, save_results
+
+BACCS = (1e-1, 1e-2, 1e-3, 1e-4, 1e-5)
+
+
+def test_fig9_bacc_vs_overall_accuracy(pipelines, benchmark):
+    def run():
+        results = {}
+        for name in dataset_names():
+            H0, p1, insp, points, kernel = pipelines.get(name, "h2-b")
+            rng = np.random.default_rng(0)
+            W = rng.random((len(points), 16))
+            Wt = W[p1.tree.perm]
+            per_bacc = {}
+            for bacc in BACCS:
+                H = insp.run_p2(p1, kernel, bacc=bacc)
+                per_bacc[bacc] = overall_accuracy(H.factors, kernel, Wt)
+            results[name] = per_bacc
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [name] + [f"{results[name][b]:.1e}" for b in BACCS]
+        for name in results
+    ]
+    print_table(
+        "Figure 9: overall accuracy eps_f per input bacc (H2-b)",
+        ["dataset"] + [f"bacc={b:.0e}" for b in BACCS],
+        rows,
+    )
+    save_results("fig9", {k: {str(b): v for b, v in r.items()}
+                          for k, r in results.items()})
+
+    for name, r in results.items():
+        # eps_f decreases as bacc tightens — unless it already saturated at
+        # an excellent level (mnist's 780-dim Gaussian is near-diagonal and
+        # compresses to high accuracy at any bacc).
+        assert r[1e-5] < max(r[1e-1] * 0.5, 5e-5), (
+            f"{name}: accuracy does not improve"
+        )
+        # bacc is only a loose bound: eps_f can exceed bacc.
+    missed = sum(1 for r in results.values() if r[1e-3] > 1e-3)
+    print(f"  datasets missing 1e-3 overall accuracy at bacc=1e-3: "
+          f"{missed}/13 (paper: >50%)")
+
+
+def test_fig9_monotone_on_average(pipelines, benchmark):
+    """Median eps_f across datasets decreases monotonically with bacc."""
+    meds = []
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for bacc in (1e-1, 1e-3, 1e-5):
+        vals = []
+        for name in ("grid", "unit", "letter", "susy"):
+            H0, p1, insp, points, kernel = pipelines.get(name, "h2-b")
+            rng = np.random.default_rng(0)
+            Wt = rng.random((len(points), 8))[p1.tree.perm]
+            H = insp.run_p2(p1, kernel, bacc=bacc)
+            vals.append(overall_accuracy(H.factors, kernel, Wt))
+        meds.append(float(np.median(vals)))
+    assert meds[0] > meds[1] > meds[2]

@@ -1,0 +1,35 @@
+"""Table 1: the dataset roster (N, d) and generation throughput."""
+
+import numpy as np
+
+from repro.datasets import load_dataset, table1_rows
+
+from conftest import bench_n, print_table, save_results
+
+# The paper's Table 1, used as the assertion target.
+PAPER_TABLE1 = {
+    "covtype": (100_000, 54), "higgs": (100_000, 28), "mnist": (60_000, 780),
+    "susy": (100_000, 18), "letter": (20_000, 16), "pen": (11_000, 16),
+    "hepmass": (100_000, 28), "gas": (14_000, 129), "grid": (102_000, 2),
+    "random": (66_000, 2), "dino": (80_000, 3), "sunflower": (80_000, 2),
+    "unit": (32_000, 2),
+}
+
+
+def test_table1_rows(benchmark):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+    assert len(rows) == 13
+    out = []
+    for r in rows:
+        assert PAPER_TABLE1[r["data"]] == (r["N"], r["d"])
+        out.append([r["id"], r["data"], f"{r['N']//1000}k", r["d"],
+                    bench_n(r["data"])])
+    print_table("Table 1: datasets (paper N/d + scaled bench N)",
+                ["ID", "Data", "N", "d", "bench N"], out)
+    save_results("table1", rows)
+
+
+def test_dataset_generation_speed(benchmark):
+    pts = benchmark(load_dataset, "susy", n=bench_n("susy"), seed=0)
+    assert pts.shape[1] == 18
+    assert np.isfinite(pts).all()

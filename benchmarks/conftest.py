@@ -1,0 +1,119 @@
+"""Shared benchmark infrastructure.
+
+Every figure benchmark runs the *real* pipeline (synthetic datasets scaled
+down from the paper's N, actual compression, structure analysis, code
+generation, and numerics) and obtains comparative execution times from the
+machine simulator (see DESIGN.md section 2 for the substitution rationale).
+
+Set ``MATROX_BENCH_N`` to change the per-dataset point budget (default 1500)
+and ``MATROX_BENCH_Q`` for the right-hand-side column count (default 2048,
+the paper's Q for most figures).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DenseGEMM,
+    GOFMMBaseline,
+    MatRoxSystem,
+    SMASHBaseline,
+    STRUMPACKBaseline,
+)
+from repro.core.inspector import Inspector
+from repro.datasets import DATASETS, load_dataset
+from repro.kernels import get_kernel
+from repro.runtime import HASWELL, KNL
+
+BENCH_N = int(os.environ.get("MATROX_BENCH_N", "1500"))
+BENCH_Q = int(os.environ.get("MATROX_BENCH_Q", "2048"))
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# The paper's default experiment configuration (Section 4.1).
+PAPER_P = 12                 # Haswell physical cores
+PAPER_BACC = 1e-5
+PAPER_LEAF = 32              # scaled with N (paper uses larger leaves at 100k)
+GAUSS_BW = 5.0               # Gaussian bandwidth for GOFMM/STRUMPACK comparisons
+
+
+def bench_n(name: str) -> int:
+    """Scaled point count for a dataset (proportional to the paper's N)."""
+    paper_n = DATASETS[name].paper_n
+    return max(600, min(BENCH_N, int(paper_n * BENCH_N / 100_000)))
+
+
+def kernel_for(name: str):
+    """Paper setting: Gaussian (bw 5) for ML sets, SMASH's 1/r for
+    scientific sets when comparing to SMASH; Gaussian everywhere else."""
+    return get_kernel("gaussian", bandwidth=GAUSS_BW)
+
+
+def scaled_machine(machine, n: int):
+    return machine.scaled_caches(n / 100_000)
+
+
+class BenchPipelines:
+    """Caches inspected HMatrices per (dataset, structure) for the session."""
+
+    def __init__(self):
+        self._cache: dict = {}
+
+    def get(self, name: str, structure: str, p: int = PAPER_P,
+            bacc: float = PAPER_BACC, leaf: int = PAPER_LEAF):
+        key = (name, structure, p, bacc, leaf)
+        if key not in self._cache:
+            n = bench_n(name)
+            points = load_dataset(name, n=n, seed=0)
+            kernel = kernel_for(name)
+            insp = Inspector(structure=structure, budget=0.03, tau=0.65,
+                             bacc=bacc, leaf_size=leaf, p=p, seed=0)
+            p1 = insp.run_p1(points)
+            H = insp.run_p2(p1, kernel)
+            self._cache[key] = (H, p1, insp, points, kernel)
+        return self._cache[key]
+
+
+@pytest.fixture(scope="session")
+def pipelines():
+    return BenchPipelines()
+
+
+@pytest.fixture(scope="session")
+def systems():
+    return {
+        "gofmm": GOFMMBaseline(),
+        "strumpack": STRUMPACKBaseline(),
+        "smash": SMASHBaseline(),
+        "gemm": DenseGEMM(),
+    }
+
+
+def save_results(name: str, payload) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, default=str))
+    return path
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Render one figure/table as aligned text (the paper-row regenerator)."""
+    print(f"\n=== {title}")
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print("  " + "  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    for r in rows:
+        print("  " + "  ".join(str(c).rjust(w) for c, w in zip(r, widths)))
+
+
+def fmt(x, nd=2):
+    if isinstance(x, float):
+        return f"{x:.{nd}f}"
+    return str(x)

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Gaussian kernel ridge regression accelerated with an HMatrix.
+
+The paper's motivating workload (Section 1): Gaussian ridge regression needs
+repeated products with the N x N kernel matrix inside an iterative solver.
+This example trains a regressor on a synthetic dataset two ways —
+
+* dense: assemble K and run conjugate gradient with exact products;
+* MatRox: compress K once, reuse the HMatrix product inside the same CG —
+
+and shows both reach the same predictions while the HMatrix path does a
+fraction of the flops per iteration.
+
+Run:  python examples/kernel_regression.py
+"""
+
+import numpy as np
+
+from repro import get_kernel, inspector
+from repro.datasets import clustered_gaussian_points
+
+
+def conjugate_gradient(apply_A, b, tol=1e-8, max_iter=200):
+    """Plain CG on an SPD operator given as a callable."""
+    x = np.zeros_like(b)
+    r = b - apply_A(x)
+    p = r.copy()
+    rs = float(r.T @ r)
+    for it in range(max_iter):
+        Ap = apply_A(p)
+        alpha = rs / float(p.T @ Ap)
+        x += alpha * p
+        r -= alpha * Ap
+        rs_new = float(r.T @ r)
+        if np.sqrt(rs_new) < tol * np.sqrt(len(b)):
+            return x, it + 1
+        p = r + (rs_new / rs) * p
+        rs = rs_new
+    return x, max_iter
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    n, d = 2000, 12
+    X = clustered_gaussian_points(n, d, n_clusters=8, seed=1)
+    # Ground-truth function: smooth + noise.
+    y = np.sin(X[:, 0] * 2.0) + 0.5 * np.cos(X @ rng.normal(size=d)) \
+        + 0.05 * rng.normal(size=n)
+
+    lam = 1e-2                                # ridge regularization
+    kernel = get_kernel("gaussian", bandwidth=2.0)
+
+    # --- dense reference -----------------------------------------------------
+    K = kernel.matrix(X)
+    alpha_dense, it_dense = conjugate_gradient(
+        lambda v: K @ v + lam * v, y
+    )
+
+    # --- HMatrix-accelerated -------------------------------------------------
+    H = inspector(X, kernel=kernel, structure="h2-b", budget=0.05,
+                  bacc=1e-7, leaf_size=64, seed=0)
+    alpha_h, it_h = conjugate_gradient(
+        lambda v: H.matmul(v) + lam * v, y
+    )
+
+    train_err_dense = np.linalg.norm(K @ alpha_dense + lam * alpha_dense - y)
+    train_err_h = np.linalg.norm(K @ alpha_h + lam * alpha_h - y)
+    coef_diff = np.linalg.norm(alpha_dense - alpha_h) / np.linalg.norm(alpha_dense)
+
+    flops_dense = 2 * n * n
+    flops_h = H.evaluation_flops(1)
+    print(f"dense CG:   {it_dense} iterations, residual {train_err_dense:.2e}")
+    print(f"hmatrix CG: {it_h} iterations, residual {train_err_h:.2e}")
+    print(f"coefficient agreement: {coef_diff:.2e} relative difference")
+    print(f"flops per matvec: dense {flops_dense/1e6:.1f} MF vs "
+          f"hmatrix {flops_h/1e6:.1f} MF ({flops_dense/flops_h:.1f}x fewer)")
+    print(f"hmatrix memory: {H.memory_bytes()/2**20:.1f} MiB vs dense "
+          f"{n*n*8/2**20:.1f} MiB")
+
+    # The same workflow through the library's high-level estimator:
+    from repro.solvers import KernelRidgeRegression
+
+    model = KernelRidgeRegression(kernel=kernel, lam=lam, structure="h2-b",
+                                  budget=0.05, bacc=1e-7,
+                                  leaf_size=64).fit(X, y)
+    pred = model.predict(X[:200])
+    corr = np.corrcoef(pred, y[:200])[0, 1]
+    print(f"\nKernelRidgeRegression estimator: CG converged in "
+          f"{model.cg_result_.iterations} iterations, "
+          f"train-subset correlation {corr:.4f}")
+
+
+if __name__ == "__main__":
+    main()

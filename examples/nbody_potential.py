@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""N-body potential summation on a 3-D surface scan (scientific workload).
+
+The low-dimensional side of the paper's evaluation: inverse-distance
+potentials (SMASH's default kernel) summed over a 3-D point cloud. The
+geometric tau-admissibility keeps genuinely nearby interactions exact and
+compresses the far field; this example compares accuracy and flops across
+the three structures the paper evaluates (HSS, geometric H2, budget H2-b).
+
+Run:  python examples/nbody_potential.py
+"""
+
+import numpy as np
+
+from repro import get_kernel, inspector, relative_error
+from repro.datasets import dino_points
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    points = dino_points(3000, seed=0)               # 3-D surface curve
+    charges = rng.random((3000, 1))
+    kernel = get_kernel("inverse_distance")          # SMASH's 1/||x-y||
+
+    exact = kernel.matrix(points) @ charges
+
+    print(f"{'structure':>14} {'eps_f':>10} {'near':>6} {'far':>6} "
+          f"{'mean srank':>11} {'flops (MF)':>11} {'mem (MiB)':>10}")
+    for structure, params in [
+        ("hss", {}),
+        ("h2-geometric", {"tau": 0.65}),
+        ("h2-b", {"budget": 0.03}),
+    ]:
+        H = inspector(points, kernel=kernel, structure=structure,
+                      bacc=1e-6, leaf_size=64, seed=0, **params)
+        pot = H.matmul(charges)
+        eps = relative_error(pot, exact)
+        s = H.summary()
+        print(f"{structure:>14} {eps:10.1e} {s['near_interactions']:6d} "
+              f"{s['far_interactions']:6d} {s['mean_srank']:11.1f} "
+              f"{H.evaluation_flops(1)/1e6:11.1f} {s['memory_mb']:10.2f}")
+
+    print("\nGeometric admissibility keeps close-range interactions exact "
+          "(more near blocks),\nwhile HSS forces every off-diagonal block "
+          "low-rank — cheaper but less accurate\nfor kernels with a "
+          "singular near field like 1/||x-y||.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Strong-scaling study on the simulated Haswell and KNL machines.
+
+Reproduces the mechanism of the paper's Figure 7 at example scale: the
+MatRox schedule (coarsen + block, static load-balanced) against the
+GOFMM-style dynamic task queue and the STRUMPACK-style level-by-level
+sweep, across core counts. See DESIGN.md for why execution time comes from
+the machine simulator (this sandbox has one physical core).
+
+Run:  python examples/scalability_study.py
+"""
+
+import numpy as np
+
+from repro import get_kernel, Inspector
+from repro.baselines import GOFMMBaseline, MatRoxSystem, STRUMPACKBaseline
+from repro.runtime import HASWELL, KNL
+
+
+def scaling_row(system_name, times):
+    base = times[0]
+    return f"{system_name:>10} " + " ".join(
+        f"{base/t:6.1f}x" for t in times
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    points = rng.random((4000, 2))
+    kernel = get_kernel("gaussian", bandwidth=0.5)
+    q = 2048
+
+    for machine, cores in ((HASWELL, (1, 2, 4, 8, 12)),
+                           (KNL, (1, 4, 17, 34, 68))):
+        m = machine.scaled_caches(len(points) / 100_000)
+        # Coarsening partitions for the largest simulated core count.
+        insp = Inspector(structure="hss", leaf_size=16, bacc=1e-4,
+                         seed=0, p=max(cores))
+        H = insp.run(points, kernel)
+        mx = MatRoxSystem(H)
+        go = GOFMMBaseline()
+        sp = STRUMPACKBaseline()
+
+        t_m = [mx.simulate(H.factors, q, m, p=p).time_s for p in cores]
+        t_g = [go.simulate(H.factors, q, m, p=p).time_s for p in cores]
+        t_s = [sp.simulate(H.factors, q, m, p=p).time_s for p in cores]
+
+        print(f"\n== {machine.name} (speedup over 1 core), cores = {cores}")
+        print(scaling_row("matrox", t_m))
+        print(scaling_row("gofmm", t_g))
+        print(scaling_row("strumpack", t_s))
+        print(f"  at {cores[-1]} cores, MatRox is "
+              f"{t_g[-1]/t_m[-1]:.2f}x faster than GOFMM and "
+              f"{t_s[-1]/t_m[-1]:.2f}x faster than STRUMPACK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Shim so editable installs work offline with legacy setuptools (no wheel)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,76 @@
+"""repro — a reproduction of MatRox (Liu et al., PPoPP 2020).
+
+MatRox is an inspector-executor framework for H2 hierarchical-matrix
+evaluation: modular compression, structure analysis (blocking + coarsening),
+the CDS storage format, and specialized code generation for data-local,
+load-balanced HMatrix-matrix multiplication.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import inspector, matmul
+>>> points = np.random.default_rng(0).random((2000, 2))
+>>> H = inspector(points, kernel="gaussian", structure="h2-geometric")
+>>> W = np.random.default_rng(1).random((2000, 16))
+>>> Y = matmul(H, W)          # approximates K @ W
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-figure reproductions.
+"""
+
+from repro.compression.compressor import CompressionResult, compress
+from repro.core.accuracy import overall_accuracy, relative_error
+from repro.core.executor import Executor, matmul
+from repro.core.hmatrix import HMatrix
+from repro.core.inspector import (
+    InspectionP1,
+    Inspector,
+    inspector,
+    inspector_p1,
+    inspector_p2,
+)
+from repro.core.io import (
+    load_hmatrix,
+    load_inspection_p1,
+    save_hmatrix,
+    save_inspection_p1,
+)
+from repro.datasets.registry import dataset_names, load_dataset, table1_rows
+from repro.kernels.base import Kernel, get_kernel
+from repro.solvers import (
+    KernelRidgeRegression,
+    conjugate_gradient,
+    estimate_trace,
+    power_iteration,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "inspector",
+    "inspector_p1",
+    "inspector_p2",
+    "Inspector",
+    "InspectionP1",
+    "HMatrix",
+    "Executor",
+    "matmul",
+    "compress",
+    "CompressionResult",
+    "overall_accuracy",
+    "relative_error",
+    "Kernel",
+    "get_kernel",
+    "load_dataset",
+    "dataset_names",
+    "table1_rows",
+    "save_hmatrix",
+    "load_hmatrix",
+    "save_inspection_p1",
+    "load_inspection_p1",
+    "KernelRidgeRegression",
+    "conjugate_gradient",
+    "power_iteration",
+    "estimate_trace",
+    "__version__",
+]

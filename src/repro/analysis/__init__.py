@@ -1,0 +1,25 @@
+"""Structure analysis: the paper's blocking and coarsening algorithms.
+
+Consumes the structure information produced by modular compression (HTree,
+CTree, sranks) and produces the structure sets — ``blockset`` for the
+reduction loops and ``coarsenset`` for the loops over the CTree — that drive
+code generation and the CDS data layout.
+"""
+
+from repro.analysis.binpack import first_fit_binpack
+from repro.analysis.blocking import build_blockset
+from repro.analysis.coarsening import build_coarsenset
+from repro.analysis.cost_model import node_cost, subtree_cost
+from repro.analysis.structure_sets import BlockSet, CoarsenLevel, CoarsenSet, SubTree
+
+__all__ = [
+    "build_blockset",
+    "build_coarsenset",
+    "first_fit_binpack",
+    "node_cost",
+    "subtree_cost",
+    "BlockSet",
+    "CoarsenSet",
+    "CoarsenLevel",
+    "SubTree",
+]

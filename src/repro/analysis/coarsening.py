@@ -1,0 +1,137 @@
+"""Coarsening algorithm (the paper's Algorithm 2).
+
+Adapts Load-Balanced level Coarsening (LBC, Cheshmi et al.) to binary
+cluster trees with an srank cost model:
+
+1. Levels (by *height*: leaves have height 0) are grouped ``agg`` at a time
+   into coarsen levels; within each coarsen level the nodes form disjoint
+   sub-trees, so each sub-tree can run on one thread with no synchronization
+   (all parent-child dependencies inside a coarsen level stay thread-local).
+2. Each initial sub-tree is costed with the srank model.
+3. Sub-trees inside one coarsen level are merged by first-fit bin-packing
+   into ``p`` load-balanced partitions that execute in parallel.
+
+The resulting ``coarsenset`` runs bottom coarsen level first for the upward
+pass; the executor reverses it for the downward pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.binpack import first_fit_binpack
+from repro.analysis.cost_model import node_cost
+from repro.analysis.structure_sets import CoarsenLevel, CoarsenSet, SubTree
+from repro.tree.cluster_tree import ClusterTree
+from repro.utils.validation import require
+
+
+def node_heights(tree: ClusterTree) -> np.ndarray:
+    """Height of every node: 0 at leaves, ``1 + max(children)`` inside."""
+    heights = np.zeros(tree.num_nodes, dtype=np.intp)
+    for v in tree.postorder():
+        if not tree.is_leaf(v):
+            heights[v] = 1 + max(
+                heights[tree.lchild[v]], heights[tree.rchild[v]]
+            )
+    return heights
+
+
+def _collect_subtree(tree: ClusterTree, root: int, lb: int,
+                     heights: np.ndarray, active: np.ndarray) -> list[int]:
+    """Post-order nodes of ``root``'s subtree with height >= lb, active only."""
+    out: list[int] = []
+    stack: list[tuple[int, bool]] = [(root, False)]
+    while stack:
+        v, expanded = stack.pop()
+        if expanded:
+            out.append(v)
+            continue
+        if not active[v] or heights[v] < lb:
+            continue
+        stack.append((v, True))
+        if not tree.is_leaf(v):
+            stack.append((int(tree.rchild[v]), False))
+            stack.append((int(tree.lchild[v]), False))
+    return out
+
+
+def build_coarsenset(
+    tree: ClusterTree,
+    sranks: np.ndarray,
+    p: int,
+    agg: int = 2,
+) -> CoarsenSet:
+    """Build the coarsenset (Alg. 2).
+
+    Parameters
+    ----------
+    tree:
+        The cluster tree.
+    sranks:
+        Per-node sranks from compression; nodes with srank 0 take no part in
+        the CTree loops (e.g. the root) and are excluded, matching the paper
+        ("node 0 is not involved in any computation").
+    p:
+        Number of parallel sub-trees per coarsen level (paper: number of
+        physical cores).
+    agg:
+        Aggregation parameter — tree levels merged per coarsen level
+        (paper default 2).
+    """
+    require(p >= 1, f"p must be >= 1, got {p}")
+    require(agg >= 1, f"agg must be >= 1, got {agg}")
+    sranks = np.asarray(sranks)
+    heights = node_heights(tree)
+    active = sranks > 0
+
+    height = int(heights[0])  # root height == CTree.height in the paper
+    if height == 0 or not active.any():
+        return CoarsenSet(levels=[], agg=agg, num_partitions=p)
+    num_levels = -(-height // agg)  # ceil(height / agg), Alg. 2 line 1
+
+    levels: list[CoarsenLevel] = []
+    for i in range(num_levels):
+        lb = i * agg
+        ub = (i + 1) * agg
+        # Disjoint sub-tree roots of this coarsen level: active nodes whose
+        # height falls in [lb, ub) and whose parent lies above the range
+        # (or is inactive, in which case this node heads its own sub-tree).
+        in_range = active & (heights >= lb) & (heights < ub)
+        subtrees: list[SubTree] = []
+        for v in np.flatnonzero(in_range):
+            v = int(v)
+            par = int(tree.parent[v])
+            is_root_here = (
+                par < 0
+                or heights[par] >= ub
+                or not active[par]
+            )
+            if not is_root_here:
+                continue
+            nodes = _collect_subtree(tree, v, lb, heights, active)
+            if nodes:
+                cost = sum(node_cost(tree, sranks, u) for u in nodes)
+                subtrees.append(SubTree(nodes=nodes, cost=cost, roots=[v]))
+
+        if not subtrees:
+            continue
+
+        # Alg. 2 lines 15-19: merge initial sub-trees into nPart balanced
+        # partitions with first-fit bin-packing.
+        n_sub = len(subtrees)
+        n_part = p if n_sub > p else max(1, n_sub // 2)
+        bins = first_fit_binpack([st.cost for st in subtrees], n_part)
+        merged: list[SubTree] = []
+        for b in bins:
+            nodes: list[int] = []
+            roots: list[int] = []
+            cost = 0.0
+            for item in sorted(b):  # keep deterministic subtree order
+                nodes.extend(subtrees[item].nodes)
+                roots.extend(subtrees[item].roots)
+                cost += subtrees[item].cost
+            merged.append(SubTree(nodes=nodes, cost=cost, roots=roots))
+        levels.append(CoarsenLevel(lb=lb, ub=ub, subtrees=merged))
+
+    return CoarsenSet(levels=levels, agg=agg, num_partitions=p)

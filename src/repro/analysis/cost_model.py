@@ -1,0 +1,38 @@
+"""srank-based cost model for the coarsening algorithm.
+
+The cost of a node in the CTree loops is the work of its T/S GEMMs, which is
+proportional to the sizes of its basis generator: for a leaf,
+``|I_v| * srank(v)``; for an interior node, ``(srank(lc) + srank(rc)) *
+srank(v)`` — the paper's Alg. 2 lines 8-14 ("the subtree cost is related to
+the size of submatrices associated with the subtree nodes and is determined
+by sranks").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tree.cluster_tree import ClusterTree
+
+
+def node_cost(tree: ClusterTree, sranks: np.ndarray, v: int) -> float:
+    """Work estimate for node ``v``'s upward/downward GEMMs."""
+    r = float(sranks[v])
+    if r == 0.0:
+        return 0.0
+    if tree.is_leaf(v):
+        return float(tree.node_size(v)) * r
+    lc, rc = int(tree.lchild[v]), int(tree.rchild[v])
+    return float(sranks[lc] + sranks[rc]) * r
+
+
+def all_node_costs(tree: ClusterTree, sranks: np.ndarray) -> np.ndarray:
+    """Vector of :func:`node_cost` for every node."""
+    return np.array(
+        [node_cost(tree, sranks, v) for v in range(tree.num_nodes)]
+    )
+
+
+def subtree_cost(tree: ClusterTree, sranks: np.ndarray, nodes) -> float:
+    """Total cost of a node set (a coarsen sub-tree)."""
+    return float(sum(node_cost(tree, sranks, int(v)) for v in nodes))

@@ -1,0 +1,78 @@
+"""Structure-set containers: blockset and coarsenset (the paper's Fig. 1f)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BlockSet:
+    """Synchronization-free grouping of interactions.
+
+    ``blocks[b]`` is the list of (i, j) interactions executed by one parallel
+    task. The construction guarantees all interactions writing to the same
+    output rows (same i-block) land in the same block, so the outer loop over
+    blocks is fully parallel with no atomics — the paper's blocked loop.
+    """
+
+    blocks: list[list[tuple[int, int]]] = field(default_factory=list)
+    blocksize: int = 1
+    kind: str = "near"  # "near" (D blocks) or "far" (B blocks)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    def num_interactions(self) -> int:
+        return sum(len(b) for b in self.blocks)
+
+    def all_interactions(self) -> list[tuple[int, int]]:
+        return [d for block in self.blocks for d in block]
+
+    def writer_rows(self, b: int) -> set[int]:
+        """Output nodes written by block ``b`` (for disjointness checks)."""
+        return {i for (i, _j) in self.blocks[b]}
+
+
+@dataclass
+class SubTree:
+    """A load-balanced unit of one coarsen level: post-ordered node ids."""
+
+    nodes: list[int]
+    cost: float = 0.0
+    roots: list[int] = field(default_factory=list)
+
+
+@dataclass
+class CoarsenLevel:
+    """One coarsened level range: disjoint sub-trees executable in parallel."""
+
+    lb: int  # inclusive tree-level lower bound of the range
+    ub: int  # exclusive tree-level upper bound
+    subtrees: list[SubTree] = field(default_factory=list)
+
+    def all_nodes(self) -> list[int]:
+        return [v for st in self.subtrees for v in st.nodes]
+
+
+@dataclass
+class CoarsenSet:
+    """Sequence of coarsen levels, executed bottom level first (upward pass).
+
+    The downward pass runs the same structure in reverse with each subtree's
+    node order flipped.
+    """
+
+    levels: list[CoarsenLevel] = field(default_factory=list)
+    agg: int = 2
+    num_partitions: int = 1
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    def all_nodes(self) -> list[int]:
+        return [v for cl in self.levels for v in cl.all_nodes()]
+
+    def max_parallelism(self) -> int:
+        return max((len(cl.subtrees) for cl in self.levels), default=0)

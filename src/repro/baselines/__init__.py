@@ -1,0 +1,28 @@
+"""Reimplementations of the baseline libraries' evaluation strategies.
+
+Each baseline is (a) a *functional* evaluator — the library-style loops of
+the paper's Figure 1d running against tree-based storage, numerically
+identical to MatRox's output — and (b) a *performance model*: the schedule
+its runtime would execute (dynamic task queue for GOFMM, barrier-per-level
+for STRUMPACK/SMASH), handed to the machine simulator. Structural
+restrictions are enforced (STRUMPACK: HSS only, small datasets; SMASH:
+d <= 3, matvec only), mirroring the capability table in the paper's
+Section 4.1.
+"""
+
+from repro.baselines.base import Baseline, BaselineRun
+from repro.baselines.gemm import DenseGEMM
+from repro.baselines.gofmm import GOFMMBaseline
+from repro.baselines.matrox import MatRoxSystem
+from repro.baselines.smash import SMASHBaseline
+from repro.baselines.strumpack import STRUMPACKBaseline
+
+__all__ = [
+    "Baseline",
+    "BaselineRun",
+    "GOFMMBaseline",
+    "STRUMPACKBaseline",
+    "SMASHBaseline",
+    "DenseGEMM",
+    "MatRoxSystem",
+]

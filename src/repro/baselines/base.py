@@ -1,0 +1,49 @@
+"""Common baseline interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compression.factors import Factors
+from repro.runtime.machine import MachineModel
+from repro.runtime.simulator import SimResult
+
+
+@dataclass
+class BaselineRun:
+    """One simulated evaluation: wall time plus context for reporting."""
+
+    system: str
+    sim: SimResult
+    flops: float
+    locality: float
+
+    @property
+    def time_s(self) -> float:
+        return self.sim.time_s
+
+    @property
+    def gflops(self) -> float:
+        return self.sim.gflops(self.flops)
+
+
+class Baseline(ABC):
+    """A system under comparison: evaluates functionally and simulates time."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def supports(self, n: int, d: int, q: int, structure: str) -> bool:
+        """Whether this system can run the given problem (capability table)."""
+
+    @abstractmethod
+    def evaluate(self, factors: Factors, W: np.ndarray) -> np.ndarray:
+        """Functional evaluation (tree order), for correctness tests."""
+
+    @abstractmethod
+    def simulate(self, factors: Factors, q: int, machine: MachineModel,
+                 p: int | None = None) -> BaselineRun:
+        """Simulated evaluation time on ``machine`` with ``p`` cores."""

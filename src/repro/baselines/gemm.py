@@ -1,0 +1,49 @@
+"""Dense GEMM reference: the un-approximated K @ W product."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Baseline, BaselineRun
+from repro.compression.factors import Factors
+from repro.runtime.machine import MachineModel
+from repro.runtime.simulator import SimResult
+
+
+class DenseGEMM(Baseline):
+    """Evaluates K @ W exactly; simulated at full BLAS efficiency."""
+
+    name = "gemm"
+
+    def __init__(self, kernel=None):
+        self.kernel = kernel
+
+    def supports(self, n: int, d: int, q: int, structure: str) -> bool:
+        return True
+
+    def evaluate(self, factors: Factors, W: np.ndarray) -> np.ndarray:
+        if self.kernel is None:
+            raise ValueError("DenseGEMM needs the kernel to assemble K")
+        tree = factors.tree
+        K = self.kernel.block(tree.ordered_points, tree.ordered_points)
+        W = np.asarray(W, dtype=np.float64)
+        return K @ (W if W.ndim == 2 else W[:, None])
+
+    def simulate(self, factors: Factors, q: int, machine: MachineModel,
+                 p: int | None = None) -> BaselineRun:
+        """One N x N x Q GEMM at large-GEMM efficiency on all cores.
+
+        Streams the dense matrix once from memory (K never fits in cache),
+        so the time is the max of the compute and bandwidth bounds.
+        """
+        p = machine.num_cores if p is None else p
+        n = factors.tree.num_points
+        flops = 2.0 * n * n * q
+        nbytes = 8.0 * n * n
+        comp = machine.flop_seconds(flops, cores=p,
+                                    efficiency=machine.blas_efficiency)
+        mem = machine.mem_seconds(nbytes, active_cores=p) / max(p, 1)
+        t = max(comp, mem)
+        sim = SimResult(time_s=t, busy_s=t * p, num_tasks=1)
+        return BaselineRun(system=self.name, sim=sim, flops=flops,
+                           locality=1.0)

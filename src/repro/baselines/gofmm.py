@@ -1,0 +1,105 @@
+"""GOFMM-style baseline: tree-based storage + dynamic task scheduling.
+
+GOFMM (Yu et al., SC'17) feeds the HTree into a dynamic task scheduler:
+good load balance, but tasks land on whichever worker is free, trading
+locality for balance (the paper's critique). Functionally the evaluation is
+the library code of Fig. 1d over tree-based storage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Baseline, BaselineRun
+from repro.compression.factors import Factors
+from repro.runtime.latency import locality_factor
+from repro.runtime.machine import MachineModel
+from repro.runtime.simulator import simulate_dynamic
+from repro.runtime.tasks import gofmm_taskgraph
+from repro.runtime.trace import treebased_trace
+from repro.runtime.cache import simulate_trace
+from repro.storage.treebased import build_treebased
+
+
+class GOFMMBaseline(Baseline):
+    """Geometry-oblivious FMM: any dimension, HSS and budget-H2 structures."""
+
+    name = "gofmm"
+
+    def __init__(self, budget: float = 0.03):
+        self.budget = budget
+        self._locality_cache: dict[int, float] = {}
+
+    def supports(self, n: int, d: int, q: int, structure: str) -> bool:
+        return True  # GOFMM runs every problem in the paper's comparison
+
+    # ----------------------------------------------------------- functional
+    def evaluate(self, factors: Factors, W: np.ndarray) -> np.ndarray:
+        """Library-style loops (Fig. 1d) over tree-based storage."""
+        tb = build_treebased(factors)
+        tree = factors.tree
+        W = np.ascontiguousarray(W, dtype=np.float64)
+        if W.ndim == 1:
+            W = W[:, None]
+        Y = np.zeros_like(W)
+
+        # Loops with reduction over near interactions.
+        for (i, j), D in tb.near.items():
+            Y[tree.start[i]:tree.stop[i]] += D @ W[tree.start[j]:tree.stop[j]]
+
+        # Bottom-up level-by-level loop over the CTree (V application).
+        T: dict[int, np.ndarray] = {}
+        by_level = [
+            [v for v in range(tree.num_nodes)
+             if tree.level[v] == lvl and factors.srank(v) > 0]
+            for lvl in range(tree.height + 1)
+        ]
+        for level in reversed(by_level):
+            for v in level:
+                V = tb.basis[v]
+                if tree.is_leaf(v):
+                    T[v] = V.T @ W[tree.start[v]:tree.stop[v]]
+                else:
+                    lc, rc = int(tree.lchild[v]), int(tree.rchild[v])
+                    r_lc = factors.srank(lc)
+                    T[v] = V[:r_lc].T @ T[lc] + V[r_lc:].T @ T[rc]
+
+        # Reduction over far interactions (B application).
+        S: dict[int, np.ndarray] = {}
+        for (i, j), B in tb.far.items():
+            contrib = B @ T[j]
+            S[i] = contrib if i not in S else S[i] + contrib
+
+        # Top-down level-by-level loop (U application).
+        for level in by_level:
+            for v in level:
+                if v not in S:
+                    continue
+                U = tb.basis[v]
+                if tree.is_leaf(v):
+                    Y[tree.start[v]:tree.stop[v]] += U @ S[v]
+                else:
+                    lc, rc = int(tree.lchild[v]), int(tree.rchild[v])
+                    r_lc = factors.srank(lc)
+                    top, bot = U[:r_lc] @ S[v], U[r_lc:] @ S[v]
+                    S[lc] = top if lc not in S else S[lc] + top
+                    S[rc] = bot if rc not in S else S[rc] + bot
+        return Y
+
+    # ------------------------------------------------------------ simulated
+    def locality(self, factors: Factors, machine: MachineModel) -> float:
+        """Cache-simulated locality factor of tree-based storage."""
+        key = id(factors)
+        if key not in self._locality_cache:
+            tb = build_treebased(factors)
+            counters = simulate_trace(treebased_trace(tb), machine)
+            self._locality_cache[key] = locality_factor(counters, machine)
+        return self._locality_cache[key]
+
+    def simulate(self, factors: Factors, q: int, machine: MachineModel,
+                 p: int | None = None, locality: float | None = None) -> BaselineRun:
+        tasks = gofmm_taskgraph(factors, q)
+        loc = self.locality(factors, machine) if locality is None else locality
+        sim = simulate_dynamic(tasks, machine, p=p, locality=loc)
+        return BaselineRun(system=self.name, sim=sim,
+                           flops=factors.evaluation_flops(q), locality=loc)

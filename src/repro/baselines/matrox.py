@@ -1,0 +1,100 @@
+"""MatRox as a simulatable system, including the Figure 5 ablation ladder.
+
+Wraps an inspected HMatrix so benchmarks can simulate its executor under the
+same machine models as the baselines, at any rung of the optimization
+ladder the paper breaks down:
+
+* ``cds-seq``    — CDS storage, fully serial generated code;
+* ``+coarsen``   — coarsened tree loops (parallel sub-trees);
+* ``+block``     — blocked reduction loops as well;
+* ``+low-level`` — root-iteration peeling on top (the full system).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.base import Baseline, BaselineRun
+from repro.codegen.lowering import LoweringDecision
+from repro.compression.factors import Factors
+from repro.core.hmatrix import HMatrix
+from repro.runtime.cache import simulate_trace
+from repro.runtime.latency import locality_factor
+from repro.runtime.machine import MachineModel
+from repro.runtime.simulator import simulate_phases
+from repro.runtime.tasks import matrox_phases
+from repro.runtime.trace import cds_trace
+
+LADDER = ("cds-seq", "+coarsen", "+block", "+low-level")
+
+
+def _decision_for(rung: str, base: LoweringDecision) -> LoweringDecision:
+    """Restrict the full lowering decision to one ablation rung."""
+    if rung == "cds-seq":
+        return LoweringDecision(
+            block_near=False, block_far=False, coarsen=False, peel_root=False,
+            block_threshold=base.block_threshold,
+            far_block_threshold=base.far_block_threshold,
+            coarsen_threshold=base.coarsen_threshold)
+    if rung == "+coarsen":
+        return LoweringDecision(
+            block_near=False, block_far=False, coarsen=base.coarsen,
+            peel_root=False, block_threshold=base.block_threshold,
+            far_block_threshold=base.far_block_threshold,
+            coarsen_threshold=base.coarsen_threshold)
+    if rung == "+block":
+        return LoweringDecision(
+            block_near=base.block_near, block_far=base.block_far,
+            coarsen=base.coarsen, peel_root=False,
+            block_threshold=base.block_threshold,
+            far_block_threshold=base.far_block_threshold,
+            coarsen_threshold=base.coarsen_threshold)
+    if rung == "+low-level":
+        return base
+    raise ValueError(f"unknown ladder rung {rung!r}; choose from {LADDER}")
+
+
+class MatRoxSystem(Baseline):
+    """The system under study, viewed through the baseline interface."""
+
+    name = "matrox"
+
+    def __init__(self, hmatrix: HMatrix):
+        self.H = hmatrix
+        self._locality_cache: dict[str, float] = {}
+
+    def supports(self, n: int, d: int, q: int, structure: str) -> bool:
+        return True
+
+    def evaluate(self, factors: Factors, W: np.ndarray) -> np.ndarray:
+        return self.H.evaluator(np.asarray(W, dtype=np.float64))
+
+    def locality(self, machine: MachineModel) -> float:
+        """Cache-simulated locality factor of the CDS layout."""
+        if machine.name not in self._locality_cache:
+            counters = simulate_trace(cds_trace(self.H.cds), machine)
+            self._locality_cache[machine.name] = locality_factor(
+                counters, machine)
+        return self._locality_cache[machine.name]
+
+    def simulate(self, factors: Factors, q: int, machine: MachineModel,
+                 p: int | None = None, rung: str = "+low-level",
+                 locality: float | None = None) -> BaselineRun:
+        decision = _decision_for(rung, self.H.evaluator.decision)
+        # Serial rungs run on one core regardless of p.
+        eff_p = 1 if rung == "cds-seq" else p
+        phases = matrox_phases(self.H.cds, q, decision=decision)
+        loc = self.locality(machine) if locality is None else locality
+        sim = simulate_phases(phases, machine, p=eff_p, locality=loc)
+        return BaselineRun(system=f"{self.name}:{rung}", sim=sim,
+                           flops=factors.evaluation_flops(q), locality=loc)
+
+    def simulate_ladder(self, q: int, machine: MachineModel,
+                        p: int | None = None) -> dict[str, BaselineRun]:
+        """All four Figure 5 rungs."""
+        return {
+            rung: self.simulate(self.H.factors, q, machine, p=p, rung=rung)
+            for rung in LADDER
+        }

@@ -1,0 +1,64 @@
+"""SMASH-style baseline: level-by-level traversal, matvec only, d <= 3.
+
+SMASH (Cai et al.) traverses the CTree level by level (synchronization
+growing with the critical path), supports only 1-3 dimensional points, and
+only matrix-vector products (Q = 1); its default kernel is 1/||x-y|| with
+admissibility 0.65 — the settings the paper adopts when comparing to it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Baseline, BaselineRun
+from repro.baselines.gofmm import GOFMMBaseline
+from repro.compression.factors import Factors
+from repro.runtime.cache import simulate_trace
+from repro.runtime.latency import locality_factor
+from repro.runtime.machine import MachineModel
+from repro.runtime.simulator import simulate_phases
+from repro.runtime.tasks import levelbylevel_phases
+from repro.runtime.trace import treebased_trace
+from repro.storage.treebased import build_treebased
+
+DEFAULT_TAU = 0.65
+
+
+class SMASHBaseline(Baseline):
+    """Structured matrix approximation by separation and hierarchy."""
+
+    name = "smash"
+
+    def __init__(self):
+        self._locality_cache: dict[int, float] = {}
+
+    def supports(self, n: int, d: int, q: int, structure: str) -> bool:
+        return d <= 3 and q == 1 and structure in ("h2-geometric", "hss")
+
+    def evaluate(self, factors: Factors, W: np.ndarray) -> np.ndarray:
+        W = np.asarray(W)
+        q = 1 if W.ndim == 1 else W.shape[1]
+        if q != 1:
+            raise ValueError("SMASH supports only matrix-vector products (Q=1)")
+        if factors.tree.dim > 3:
+            raise ValueError("SMASH supports only 1-3 dimensional points")
+        return GOFMMBaseline().evaluate(factors, W)
+
+    def locality(self, factors: Factors, machine: MachineModel) -> float:
+        key = id(factors)
+        if key not in self._locality_cache:
+            tb = build_treebased(factors)
+            counters = simulate_trace(treebased_trace(tb), machine)
+            self._locality_cache[key] = locality_factor(counters, machine)
+        return self._locality_cache[key]
+
+    def simulate(self, factors: Factors, q: int, machine: MachineModel,
+                 p: int | None = None, locality: float | None = None) -> BaselineRun:
+        if q != 1:
+            raise ValueError("SMASH supports only Q=1")
+        phases = levelbylevel_phases(factors, q)
+        loc = self.locality(factors, machine) if locality is None else locality
+        sim = simulate_phases(phases, machine, p=p, locality=loc,
+                              contention_beta=0.06)
+        return BaselineRun(system=self.name, sim=sim,
+                           flops=factors.evaluation_flops(q), locality=loc)

@@ -1,0 +1,90 @@
+"""STRUMPACK-style baseline: HSS-only, level-by-level with barriers.
+
+STRUMPACK (Ghysels et al.) is specialised for hierarchically semi-separable
+structures: every off-diagonal block low-rank, evaluation by synchronized
+level-by-level sweeps. Its compression (randomized sampling) is costlier
+than the ID path, and it only ran the small datasets in the paper's
+experiments — both modelled here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import Baseline, BaselineRun
+from repro.baselines.gofmm import GOFMMBaseline
+from repro.compression.factors import Factors
+from repro.runtime.cache import simulate_trace
+from repro.runtime.latency import locality_factor
+from repro.runtime.machine import MachineModel
+from repro.runtime.simulator import simulate_phases
+from repro.runtime.tasks import levelbylevel_phases
+from repro.runtime.trace import treebased_trace
+from repro.storage.treebased import build_treebased
+
+# Paper (Table 1 + Section 4.1): STRUMPACK only ran problem IDs 5, 6, 8, 13
+# — the datasets at or below this point count.
+_MAX_POINTS_FRACTION_OF_PAPER = 32_000 / 100_000
+
+
+class STRUMPACKBaseline(Baseline):
+    """HSS-structured multifrontal solver's matmul path."""
+
+    name = "strumpack"
+
+    def __init__(self, max_points: int | None = None,
+                 compression_overhead: float = 2.5,
+                 rank_inflation: float = 1.9):
+        """``max_points`` caps the problems it runs (None: paper-scaled cap
+        applied against the problem's own N); ``compression_overhead``
+        models its costlier randomized-sampling compression (Fig. 4 shows
+        STRUMPACK compression slower than MatRox/GOFMM); ``rank_inflation``
+        models the larger HSS ranks its randomized compression produces at
+        the same tolerance compared to adaptive ID (basis work scales
+        linearly, skeleton-skeleton coupling quadratically)."""
+        self.max_points = max_points
+        self.compression_overhead = compression_overhead
+        self.rank_inflation = rank_inflation
+        self._locality_cache: dict[int, float] = {}
+
+    def supports(self, n: int, d: int, q: int, structure: str) -> bool:
+        if structure != "hss":
+            return False
+        cap = self.max_points
+        if cap is None:
+            cap = int(_MAX_POINTS_FRACTION_OF_PAPER * 100_000)
+        return n <= cap
+
+    def evaluate(self, factors: Factors, W: np.ndarray) -> np.ndarray:
+        """Numerically identical to the library loops (shared with GOFMM)."""
+        if factors.htree.structure != "hss":
+            raise ValueError("STRUMPACK supports only HSS structures")
+        return GOFMMBaseline().evaluate(factors, W)
+
+    def locality(self, factors: Factors, machine: MachineModel) -> float:
+        key = id(factors)
+        if key not in self._locality_cache:
+            tb = build_treebased(factors)
+            counters = simulate_trace(treebased_trace(tb), machine)
+            self._locality_cache[key] = locality_factor(counters, machine)
+        return self._locality_cache[key]
+
+    def simulate(self, factors: Factors, q: int, machine: MachineModel,
+                 p: int | None = None, locality: float | None = None) -> BaselineRun:
+        phases = levelbylevel_phases(factors, q)
+        # Apply the rank-inflation model to the task costs.
+        rho = self.rank_inflation
+        for phase in phases:
+            for unit in phase.units:
+                for t in unit:
+                    if t.name.startswith(("up", "down")):
+                        t.flops *= rho
+                        t.bytes *= rho
+                    elif t.name.startswith("coupling"):
+                        t.flops *= rho * rho
+                        t.bytes *= rho * rho
+        loc = self.locality(factors, machine) if locality is None else locality
+        sim = simulate_phases(phases, machine, p=p, locality=loc,
+                              contention_beta=0.06)
+        return BaselineRun(system=self.name, sim=sim,
+                           flops=factors.evaluation_flops(q), locality=loc)

@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the paper's inspector/executor workflow as a tool:
+
+* ``inspect``  — points in, ``hmat.npz`` out (compression + structure
+  analysis + codegen), optionally saving the reusable p1 artifacts;
+* ``evaluate`` — load an ``hmat.npz``, multiply with a dense matrix file
+  (or random W), write/report Y;
+* ``info``     — print the structural summary of a stored HMatrix;
+* ``datasets`` — regenerate Table 1 / emit a synthetic dataset to .npy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.core.inspector import Inspector
+from repro.core.io import (
+    load_hmatrix,
+    load_inspection_p1,
+    save_hmatrix,
+    save_inspection_p1,
+)
+from repro.datasets.registry import dataset_names, load_dataset, table1_rows
+from repro.kernels.base import get_kernel
+
+
+def _load_points(spec: str, n: int | None, seed: int) -> np.ndarray:
+    """``spec`` is either a dataset name from Table 1 or a .npy path."""
+    if spec in dataset_names():
+        return load_dataset(spec, n=n, seed=seed)
+    return np.load(spec)
+
+
+def _add_inspector_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--structure", default="h2-geometric",
+                   choices=["h2-geometric", "hss", "h2-b"],
+                   help="HMatrix structure / admissibility flavour")
+    p.add_argument("--tau", type=float, default=0.65,
+                   help="geometric admissibility parameter")
+    p.add_argument("--budget", type=float, default=0.03,
+                   help="GOFMM-style budget (h2-b only)")
+    p.add_argument("--bacc", type=float, default=1e-5,
+                   help="block approximation accuracy")
+    p.add_argument("--leaf-size", type=int, default=64)
+    p.add_argument("--max-rank", type=int, default=256)
+    p.add_argument("--sampling-size", type=int, default=32)
+    p.add_argument("--kernel", default="gaussian")
+    p.add_argument("--bandwidth", type=float, default=5.0)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _make_kernel(args):
+    if args.kernel in ("gaussian", "laplace", "matern32"):
+        return get_kernel(args.kernel, bandwidth=args.bandwidth)
+    return get_kernel(args.kernel)
+
+
+def _make_inspector(args) -> Inspector:
+    return Inspector(structure=args.structure, tau=args.tau,
+                     budget=args.budget, bacc=args.bacc,
+                     leaf_size=args.leaf_size, max_rank=args.max_rank,
+                     sampling_size=args.sampling_size, seed=args.seed)
+
+
+def cmd_inspect(args) -> int:
+    points = _load_points(args.points, args.n, args.seed)
+    kernel = _make_kernel(args)
+    insp = _make_inspector(args)
+
+    t0 = time.perf_counter()
+    if args.reuse_p1:
+        p1 = load_inspection_p1(args.reuse_p1)
+        print(f"reusing phase-1 inspection from {args.reuse_p1}")
+    else:
+        p1 = insp.run_p1(points)
+    H = insp.run_p2(p1, kernel)
+    dt = time.perf_counter() - t0
+
+    save_hmatrix(H, args.output)
+    if args.save_p1:
+        save_inspection_p1(p1, args.save_p1)
+        print(f"phase-1 artifacts -> {args.save_p1}")
+    s = H.summary()
+    print(f"inspected N={s['N']} ({s['structure']}) in {dt:.2f}s -> "
+          f"{args.output}")
+    print(f"  sranks: mean {s['mean_srank']:.1f}, max {s['max_srank']}; "
+          f"memory {s['memory_mb']:.2f} MiB "
+          f"(ratio {s['compression_ratio']:.1f}x)")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    H = load_hmatrix(args.hmatrix)
+    if args.w:
+        W = np.load(args.w)
+    else:
+        W = np.random.default_rng(args.seed).random((H.dim, args.q))
+    t0 = time.perf_counter()
+    Y = H.matmul(W)
+    dt = time.perf_counter() - t0
+    gf = H.evaluation_flops(W.shape[1] if W.ndim == 2 else 1) / dt / 1e9
+    print(f"evaluated Y = H @ W  (N={H.dim}, Q="
+          f"{W.shape[1] if W.ndim == 2 else 1}) in {dt:.3f}s ({gf:.2f} GF/s)")
+    if args.output:
+        np.save(args.output, Y)
+        print(f"Y -> {args.output}")
+    else:
+        print(f"||Y||_F = {np.linalg.norm(Y):.6e}")
+    return 0
+
+
+def cmd_info(args) -> int:
+    H = load_hmatrix(args.hmatrix)
+    for key, value in H.summary().items():
+        print(f"{key:20s} {value}")
+    if args.source:
+        print("\n--- generated evaluation code ---")
+        print(H.evaluator.source)
+    return 0
+
+
+def cmd_datasets(args) -> int:
+    if args.emit:
+        pts = load_dataset(args.emit, n=args.n, seed=args.seed)
+        out = args.output or f"{args.emit}.npy"
+        np.save(out, pts)
+        print(f"{args.emit}: {pts.shape} -> {out}")
+        return 0
+    print(f"{'ID':>3} {'data':>10} {'N':>8} {'d':>4} {'kind':>11}")
+    for row in table1_rows():
+        print(f"{row['id']:>3} {row['data']:>10} {row['N']:>8} "
+              f"{row['d']:>4} {row['kind']:>11}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MatRox reproduction: inspector-executor HMatrix tool",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("inspect", help="compress points into an HMatrix")
+    p.add_argument("points", help="Table 1 dataset name or .npy point file")
+    p.add_argument("-o", "--output", default="hmat.npz")
+    p.add_argument("-n", type=int, default=None,
+                   help="point count for named datasets")
+    p.add_argument("--save-p1", default=None,
+                   help="also store reusable phase-1 artifacts here")
+    p.add_argument("--reuse-p1", default=None,
+                   help="load phase-1 artifacts instead of recomputing")
+    _add_inspector_args(p)
+    p.set_defaults(fn=cmd_inspect)
+
+    p = sub.add_parser("evaluate", help="multiply a stored HMatrix")
+    p.add_argument("hmatrix", help="hmat.npz from 'inspect'")
+    p.add_argument("--w", default=None, help=".npy right-hand matrix")
+    p.add_argument("-q", type=int, default=16,
+                   help="random W columns when --w is not given")
+    p.add_argument("-o", "--output", default=None, help="store Y as .npy")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_evaluate)
+
+    p = sub.add_parser("info", help="summarise a stored HMatrix")
+    p.add_argument("hmatrix")
+    p.add_argument("--source", action="store_true",
+                   help="print the generated evaluation code")
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("datasets", help="list Table 1 / emit a dataset")
+    p.add_argument("--emit", default=None, help="dataset name to generate")
+    p.add_argument("-n", type=int, default=None)
+    p.add_argument("-o", "--output", default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_datasets)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

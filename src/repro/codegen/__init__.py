@@ -1,0 +1,23 @@
+"""Code generation: lowering the evaluation IR to specialized Python code.
+
+Mirrors the paper's code-generation stage: an abstract program for the
+HMatrix-matrix multiplication is lowered through *block lowering* (the
+reduction loops iterate over the blockset) and *coarsen lowering* (the
+CTree loops iterate over the coarsenset), gated by the block/coarsen
+thresholds, then low-level transforms (root-iteration peeling) are applied.
+The result is Python source text compiled to a callable specialized for one
+HMatrix structure.
+"""
+
+from repro.codegen.ir import EvaluationIR, build_ir
+from repro.codegen.lowering import LoweringDecision, decide_lowering
+from repro.codegen.emit import GeneratedEvaluator, generate_evaluator
+
+__all__ = [
+    "EvaluationIR",
+    "build_ir",
+    "LoweringDecision",
+    "decide_lowering",
+    "GeneratedEvaluator",
+    "generate_evaluator",
+]

@@ -1,0 +1,328 @@
+"""Emission of specialized evaluation code.
+
+``generate_evaluator`` lowers the IR to Python source text (the analogue of
+the paper's emitted C code), binds the structure sets to *views into the CDS
+buffers* as constant tables, and compiles the source with ``compile``/``exec``.
+The generated function is specialized for one HMatrix: which loops exist,
+whether they iterate over structure sets or raw interaction lists, and
+whether the root iteration is peeled are all baked into the source.
+
+The generated callable computes ``Y += K~ @ W`` in tree order and can run
+serially or over a thread pool (NumPy's BLAS releases the GIL inside GEMMs,
+so block/sub-tree tasks genuinely overlap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.structure_sets import BlockSet, CoarsenSet
+from repro.codegen.ir import EvaluationIR
+from repro.codegen.lowering import LoweringDecision, decide_lowering
+from repro.storage.cds import CDSMatrix
+
+# Opcodes for tree-loop operations (kept as plain ints for dispatch speed).
+OP_LEAF = 0
+OP_INTERIOR = 1
+
+
+def _run_parallel(pool, fn, items):
+    """Execute ``fn`` over ``items`` — serially or on the supplied pool."""
+    if pool is None:
+        for it in items:
+            fn(it)
+    else:
+        list(pool.map(fn, items))
+
+
+@dataclass
+class GeneratedEvaluator:
+    """A compiled, specialized HMatrix-matrix multiplication."""
+
+    source: str
+    decision: LoweringDecision
+    cds: CDSMatrix
+    _fn: Callable = field(repr=False, default=None)
+    name: str = "hmatmul"
+
+    def __call__(self, W: np.ndarray, pool=None) -> np.ndarray:
+        """Evaluate ``Y = K~ W`` (tree order). W: (N, Q) or (N,)."""
+        W = np.ascontiguousarray(W, dtype=np.float64)
+        squeeze = W.ndim == 1
+        if squeeze:
+            W = W[:, None]
+        n = self.cds.dim
+        if W.shape[0] != n:
+            raise ValueError(f"W has {W.shape[0]} rows, HMatrix dim is {n}")
+        Y = np.zeros_like(W)
+        self._fn(W, Y, pool)
+        return Y[:, 0] if squeeze else Y
+
+
+# --------------------------------------------------------------------------
+# Table construction: bind structure sets to CDS views.
+# --------------------------------------------------------------------------
+
+def _near_tables(cds: CDSMatrix, blocked: bool):
+    """Near-loop task tables: blocked → list of blocks, serial → one list."""
+    t = cds.tree
+    def entry(i, j):
+        return (cds.near(i, j), int(t.start[i]), int(t.stop[i]),
+                int(t.start[j]), int(t.stop[j]))
+    if blocked:
+        return [
+            tuple(entry(i, j) for (i, j) in block)
+            for block in cds.near_blockset.blocks
+        ]
+    pairs = sorted(cds.factors.near_blocks)
+    return [tuple(entry(i, j) for (i, j) in pairs)]
+
+
+def _far_tables(cds: CDSMatrix, blocked: bool):
+    """Coupling-loop task tables; entries are (B, i, j)."""
+    def entry(i, j):
+        return (cds.far(i, j), int(i), int(j))
+    if blocked:
+        return [
+            tuple(entry(i, j) for (i, j) in block)
+            for block in cds.far_blockset.blocks
+        ]
+    pairs = sorted(cds.factors.coupling)
+    return [tuple(entry(i, j) for (i, j) in pairs)]
+
+
+def _node_op(cds: CDSMatrix, v: int):
+    """Encode one tree-loop op for node v."""
+    t = cds.tree
+    gen = cds.basis(v)
+    if t.is_leaf(v):
+        return (OP_LEAF, v, gen, int(t.start[v]), int(t.stop[v]), 0)
+    lc, rc = int(t.lchild[v]), int(t.rchild[v])
+    return (OP_INTERIOR, v, gen, lc, rc, int(cds.factors.srank(lc)))
+
+
+def _coarsen_tables(cds: CDSMatrix, coarsenset: CoarsenSet, peel: bool):
+    """Upward-pass tables: list of levels, each a list of sub-tree op tuples.
+
+    With peeling, the last coarsen level is returned separately as a flat op
+    list executed as straight-line code (standing in for the paper's
+    parallel-BLAS peeled root iteration).
+    """
+    levels = [
+        [tuple(_node_op(cds, v) for v in st.nodes) for st in cl.subtrees]
+        for cl in coarsenset.levels
+    ]
+    peeled: tuple = ()
+    if peel and levels:
+        last = levels.pop()
+        peeled = tuple(op for st in last for op in st)
+    return levels, peeled
+
+
+def _serial_tree_tables(cds: CDSMatrix):
+    """Un-coarsened upward table: one subtree holding the whole post-order."""
+    order = [
+        v for v in cds.tree.postorder()
+        if v != 0 and cds.factors.srank(v) > 0
+    ]
+    return [[tuple(_node_op(cds, v) for v in order)]], ()
+
+
+# --------------------------------------------------------------------------
+# Source emission.
+# --------------------------------------------------------------------------
+
+_PROLOGUE = '''\
+def {name}(W, Y, pool=None):
+    """Generated HMatrix-matrix multiplication (tree order).
+
+    Lowering: near={near_mode}, coupling={far_mode}, tree={tree_mode},
+    peeled_root={peel}.
+    """
+    Q = W.shape[1]
+    T = [None] * NUM_NODES
+    S = [None] * NUM_NODES
+'''
+
+_NEAR_BLOCKED = '''
+    # Blocked loop over the near blockset: blocks write disjoint Y rows,
+    # so the loop over blocks is fully parallel (no reductions).
+    def _near_block(block):
+        for D, si, ei, sj, ej in block:
+            Y[si:ei] += D @ W[sj:ej]
+    _run_parallel(pool, _near_block, NEAR_TABLE)
+'''
+
+_NEAR_SERIAL = '''
+    # Serial reduction loop over near interactions.
+    for block in NEAR_TABLE:
+        for D, si, ei, sj, ej in block:
+            Y[si:ei] += D @ W[sj:ej]
+'''
+
+_UP_SUBTREE_FN = '''
+    def _up_subtree(ops):
+        for op, v, G, a, b, rlc in ops:
+            if op == OP_LEAF:
+                T[v] = G.T @ W[a:b]
+            else:
+                Tl = T[a]; Tr = T[b]
+                T[v] = G[:rlc].T @ Tl + G[rlc:].T @ Tr
+'''
+
+_UP_COARSENED = '''
+    # Coarsened loop over the CTree (upward): sequential over coarsen
+    # levels, parallel over load-balanced sub-trees inside each level.
+    for level in UP_LEVELS:
+        _run_parallel(pool, _up_subtree, level)
+'''
+
+_UP_PEELED = '''
+    # Peeled root iteration: the top coarsen level has little task
+    # parallelism, so its node GEMMs run as straight-line (parallel-BLAS)
+    # calls instead of sub-tree tasks.
+    _up_subtree(UP_PEELED)
+'''
+
+_COUPLING_BLOCKED = '''
+    # Blocked loop over the far blockset (B blocks): same-output far
+    # interactions share a block, so no reduction across blocks.
+    def _coupling_block(block):
+        for B, i, j in block:
+            contrib = B @ T[j]
+            if S[i] is None:
+                S[i] = contrib
+            else:
+                S[i] += contrib
+    _run_parallel(pool, _coupling_block, FAR_TABLE)
+'''
+
+_COUPLING_SERIAL = '''
+    # Serial reduction loop over far interactions.
+    for block in FAR_TABLE:
+        for B, i, j in block:
+            contrib = B @ T[j]
+            if S[i] is None:
+                S[i] = contrib
+            else:
+                S[i] += contrib
+'''
+
+_DOWN_SUBTREE_FN = '''
+    def _down_subtree(ops):
+        for op, v, G, a, b, rlc in ops:
+            sv = S[v]
+            if sv is None:
+                continue
+            if op == OP_LEAF:
+                Y[a:b] += G @ sv
+            else:
+                top = G[:rlc] @ sv
+                bot = G[rlc:] @ sv
+                S[a] = top if S[a] is None else S[a] + top
+                S[b] = bot if S[b] is None else S[b] + bot
+'''
+
+_DOWN_PEELED = '''
+    # Peeled root iteration of the downward pass (runs first: top of tree).
+    _down_subtree(DOWN_PEELED)
+'''
+
+_DOWN_COARSENED = '''
+    # Coarsened downward pass: coarsen levels in reverse, sub-trees parallel,
+    # node order inside each sub-tree reversed (parents before children).
+    for level in DOWN_LEVELS:
+        _run_parallel(pool, _down_subtree, level)
+'''
+
+_EPILOGUE = '''
+    return Y
+'''
+
+
+def generate_evaluator(
+    cds: CDSMatrix,
+    ir: EvaluationIR | None = None,
+    decision: LoweringDecision | None = None,
+    block_threshold: int | None = None,
+    far_block_threshold: int | None = None,
+    coarsen_threshold: int = 4,
+    low_level: bool = True,
+    name: str = "hmatmul",
+) -> GeneratedEvaluator:
+    """Lower the IR and compile the specialized evaluator for ``cds``."""
+    from repro.codegen.ir import build_ir
+
+    if ir is None:
+        ir = build_ir(
+            cds.factors,
+            coarsenset=cds.coarsenset,
+            near_blockset=cds.near_blockset,
+            far_blockset=cds.far_blockset,
+        )
+    if decision is None:
+        decision = decide_lowering(
+            ir,
+            block_threshold=block_threshold,
+            far_block_threshold=far_block_threshold,
+            coarsen_threshold=coarsen_threshold,
+            low_level=low_level,
+        )
+
+    near_table = _near_tables(cds, decision.block_near)
+    far_table = _far_tables(cds, decision.block_far)
+    if decision.coarsen:
+        up_levels, up_peeled = _coarsen_tables(
+            cds, cds.coarsenset, decision.peel_root
+        )
+    else:
+        up_levels, up_peeled = _serial_tree_tables(cds)
+
+    # Downward tables: reversed levels, reversed ops within each sub-tree.
+    down_levels = [
+        [tuple(reversed(st)) for st in level] for level in reversed(up_levels)
+    ]
+    down_peeled = tuple(reversed(up_peeled))
+
+    # ---- assemble source ---------------------------------------------------
+    parts = [
+        _PROLOGUE.format(
+            name=name,
+            near_mode="blocked" if decision.block_near else "serial",
+            far_mode="blocked" if decision.block_far else "serial",
+            tree_mode="coarsened" if decision.coarsen else "serial",
+            peel=decision.peel_root,
+        )
+    ]
+    parts.append(_NEAR_BLOCKED if decision.block_near else _NEAR_SERIAL)
+    parts.append(_UP_SUBTREE_FN)
+    parts.append(_UP_COARSENED)
+    if decision.peel_root and up_peeled:
+        parts.append(_UP_PEELED)
+    parts.append(_COUPLING_BLOCKED if decision.block_far else _COUPLING_SERIAL)
+    parts.append(_DOWN_SUBTREE_FN)
+    if decision.peel_root and down_peeled:
+        parts.append(_DOWN_PEELED)
+    parts.append(_DOWN_COARSENED)
+    parts.append(_EPILOGUE)
+    source = "".join(parts)
+
+    env = {
+        "NUM_NODES": cds.tree.num_nodes,
+        "NEAR_TABLE": near_table,
+        "FAR_TABLE": far_table,
+        "UP_LEVELS": up_levels,
+        "UP_PEELED": up_peeled,
+        "DOWN_LEVELS": down_levels,
+        "DOWN_PEELED": down_peeled,
+        "OP_LEAF": OP_LEAF,
+        "_run_parallel": _run_parallel,
+    }
+    code = compile(source, filename=f"<matrox-generated:{name}>", mode="exec")
+    exec(code, env)
+    return GeneratedEvaluator(
+        source=source, decision=decision, cds=cds, _fn=env[name], name=name
+    )

@@ -1,0 +1,75 @@
+"""Internal representation of the HMatrix-matrix multiplication.
+
+The IR captures the four abstract loop nests of the evaluation (Fig. 1d)
+before lowering decides their final shape:
+
+* ``near``      — reduction loop over near interactions (D blocks),
+* ``upward``    — carried-dependency loop over the CTree, bottom-up (V/E),
+* ``coupling``  — reduction loop over far interactions (B blocks),
+* ``downward``  — carried-dependency loop over the CTree, top-down (U/E).
+
+Each loop records its iteration space (interaction pairs or node order) so
+lowering can rewrite it to iterate over a structure set instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.structure_sets import BlockSet, CoarsenSet
+from repro.compression.factors import Factors
+
+
+@dataclass
+class LoopNest:
+    """One abstract loop of the evaluation program."""
+
+    name: str                       # "near" | "upward" | "coupling" | "downward"
+    kind: str                       # "reduction" | "tree"
+    iterations: list = field(default_factory=list)
+    lowered_to: str = "serial"      # "serial" | "blocked" | "coarsened"
+
+    @property
+    def trip_count(self) -> int:
+        return len(self.iterations)
+
+
+@dataclass
+class EvaluationIR:
+    """The whole evaluation program plus the structure sets available to it."""
+
+    loops: dict[str, LoopNest]
+    factors: Factors
+    coarsenset: CoarsenSet | None = None
+    near_blockset: BlockSet | None = None
+    far_blockset: BlockSet | None = None
+
+    def loop(self, name: str) -> LoopNest:
+        return self.loops[name]
+
+
+def build_ir(
+    factors: Factors,
+    coarsenset: CoarsenSet | None = None,
+    near_blockset: BlockSet | None = None,
+    far_blockset: BlockSet | None = None,
+) -> EvaluationIR:
+    """Construct the un-lowered IR from compression output."""
+    tree = factors.tree
+    htree = factors.htree
+    basis_nodes = [
+        v for v in tree.postorder() if factors.srank(v) > 0
+    ]
+    loops = {
+        "near": LoopNest("near", "reduction", htree.near_pairs()),
+        "upward": LoopNest("upward", "tree", list(basis_nodes)),
+        "coupling": LoopNest("coupling", "reduction", htree.far_pairs()),
+        "downward": LoopNest("downward", "tree", list(reversed(basis_nodes))),
+    }
+    return EvaluationIR(
+        loops=loops,
+        factors=factors,
+        coarsenset=coarsenset,
+        near_blockset=near_blockset,
+        far_blockset=far_blockset,
+    )

@@ -1,0 +1,19 @@
+"""Low-rank approximation module: interpolative decomposition (ID) with
+adaptive rank, nested-basis (H2) skeletonization, and the modular
+compression orchestrator wiring tree construction, interaction computation,
+sampling, and low-rank approximation together.
+"""
+
+from repro.compression.compressor import CompressionResult, compress
+from repro.compression.factors import Factors
+from repro.compression.interp_decomp import InterpolativeDecomposition, interpolative_decomposition
+from repro.compression.skeleton import skeletonize_tree
+
+__all__ = [
+    "interpolative_decomposition",
+    "InterpolativeDecomposition",
+    "Factors",
+    "skeletonize_tree",
+    "compress",
+    "CompressionResult",
+]

@@ -1,0 +1,94 @@
+"""Modular compression orchestrator.
+
+Wires the four compression modules — tree construction, interaction
+computation, sampling, low-rank approximation — with the separated inputs
+the paper's Figure 3 shows: points feed tree construction; the admissibility
+feeds interaction computation; points + CTree feed sampling; kernel + bacc
+(+ sampling info + HTree) feed low-rank approximation. Each module's output
+is exposed on the result object so callers (and the inspection-reuse logic)
+can retain any subset.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compression.factors import Factors
+from repro.compression.skeleton import skeletonize_tree
+from repro.htree.admissibility import Admissibility, make_admissibility
+from repro.htree.htree import HTree, build_htree
+from repro.kernels.base import Kernel, get_kernel
+from repro.sampling.plan import SamplingPlan, build_sampling_plan
+from repro.tree.build import build_cluster_tree
+from repro.tree.cluster_tree import ClusterTree
+
+
+@dataclass
+class CompressionResult:
+    """All structure information produced by modular compression."""
+
+    tree: ClusterTree
+    htree: HTree
+    plan: SamplingPlan
+    factors: Factors
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def sranks(self) -> np.ndarray:
+        return self.factors.sranks
+
+
+def compress(
+    points,
+    kernel: Kernel | str = "gaussian",
+    structure: str | Admissibility = "h2-geometric",
+    bacc: float = 1e-5,
+    leaf_size: int = 64,
+    max_rank: int = 256,
+    sampling_size: int = 32,
+    tree_method: str = "auto",
+    seed=0,
+    tree: ClusterTree | None = None,
+    htree: HTree | None = None,
+    plan: SamplingPlan | None = None,
+    **structure_params,
+) -> CompressionResult:
+    """Run modular compression end to end.
+
+    Pre-built ``tree`` / ``htree`` / ``plan`` may be supplied to skip the
+    corresponding modules — this is exactly the reuse hook ``inspector_p2``
+    relies on when only the kernel or bacc changed.
+    """
+    if isinstance(kernel, str):
+        kernel = get_kernel(kernel)
+    timings: dict[str, float] = {}
+
+    t0 = time.perf_counter()
+    if tree is None:
+        tree = build_cluster_tree(points, leaf_size=leaf_size,
+                                  method=tree_method, seed=seed)
+    timings["tree_construction"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    if htree is None:
+        if isinstance(structure, Admissibility):
+            adm = structure
+        else:
+            adm = make_admissibility(structure, **structure_params)
+        htree = build_htree(tree, adm)
+    timings["interaction_computation"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    if plan is None:
+        plan = build_sampling_plan(tree, k=sampling_size, seed=seed)
+    timings["sampling"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    factors = skeletonize_tree(htree, kernel, plan, bacc=bacc, max_rank=max_rank)
+    timings["low_rank_approximation"] = time.perf_counter() - t0
+
+    return CompressionResult(tree=tree, htree=htree, plan=plan,
+                             factors=factors, timings=timings)

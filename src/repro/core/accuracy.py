@@ -1,0 +1,37 @@
+"""Accuracy metrics: the paper's overall accuracy epsilon_f.
+
+``epsilon_f = ||K~ W - K W||_F / ||K W||_F`` (Section 5, Figure 9): the
+relative Frobenius error of the approximated HMatrix-matrix product against
+the exact dense product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def relative_error(approx: np.ndarray, exact: np.ndarray) -> float:
+    """``||approx - exact||_F / ||exact||_F`` (0 when both are zero)."""
+    denom = np.linalg.norm(exact)
+    if denom == 0.0:
+        return 0.0 if np.linalg.norm(approx) == 0.0 else float("inf")
+    return float(np.linalg.norm(approx - exact) / denom)
+
+
+def overall_accuracy(factors, kernel, W: np.ndarray) -> float:
+    """epsilon_f for the given compressed factors against the dense product.
+
+    Assembles the dense kernel matrix, so only suitable for validation-scale
+    N (the benchmarks use it on scaled-down datasets, as DESIGN.md records).
+    ``W`` is in tree order to match :func:`evaluate_reference`.
+    """
+    from repro.core.evaluation import evaluate_reference
+
+    tree = factors.tree
+    W = np.ascontiguousarray(W, dtype=np.float64)
+    if W.ndim == 1:
+        W = W[:, None]
+    K = kernel.block(tree.ordered_points, tree.ordered_points)
+    exact = K @ W
+    approx = evaluate_reference(factors, W)
+    return relative_error(approx, exact)

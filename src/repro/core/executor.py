@@ -1,0 +1,54 @@
+"""The MatRox executor: runs the generated code against the CDS storage.
+
+``matmul(H, W)`` is the paper's Figure 2 executor call. :class:`Executor`
+additionally owns a thread pool so repeated evaluations (the common case the
+inspector amortises against) reuse worker threads. NumPy's BLAS releases the
+GIL inside GEMM, so sub-tree and block tasks overlap on real cores.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.hmatrix import HMatrix
+
+
+class Executor:
+    """Reusable evaluation context with an optional thread pool."""
+
+    def __init__(self, num_threads: int | None = None):
+        """``num_threads=None`` or 1 runs serially (no pool)."""
+        if num_threads is not None and num_threads < 1:
+            raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+        self.num_threads = num_threads
+        self._pool = (
+            ThreadPoolExecutor(max_workers=num_threads)
+            if num_threads and num_threads > 1
+            else None
+        )
+
+    def matmul(self, H: HMatrix, W: np.ndarray, order: str = "original") -> np.ndarray:
+        return H.matmul(W, pool=self._pool, order=order)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+
+def matmul(H: HMatrix, W: np.ndarray, num_threads: int | None = None,
+           order: str = "original") -> np.ndarray:
+    """``Y = H @ W`` — the executor entry point of the paper's Figure 2."""
+    if num_threads and num_threads > 1:
+        with Executor(num_threads) as ex:
+            return ex.matmul(H, W, order=order)
+    return H.matmul(W, order=order)

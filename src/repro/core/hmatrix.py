@@ -1,0 +1,126 @@
+"""The HMatrix: compressed kernel matrix + structure sets + CDS + code.
+
+This is the object the MatRox inspector hands to the executor (the ``H`` of
+the paper's Figure 2). It owns the CDS-packed generators, the structure sets
+that produced the layout, and the compiled specialized evaluator, and maps
+between the user's point order and the internal tree order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.structure_sets import BlockSet, CoarsenSet
+from repro.codegen.emit import GeneratedEvaluator
+from repro.compression.factors import Factors
+from repro.storage.cds import CDSMatrix
+
+
+@dataclass
+class HMatrix:
+    """Compressed H2 approximation of a kernel matrix."""
+
+    cds: CDSMatrix
+    evaluator: GeneratedEvaluator
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def factors(self) -> Factors:
+        return self.cds.factors
+
+    @property
+    def tree(self):
+        return self.cds.tree
+
+    @property
+    def dim(self) -> int:
+        """Matrix dimension N."""
+        return self.cds.dim
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.dim, self.dim)
+
+    @property
+    def sranks(self) -> np.ndarray:
+        return self.factors.sranks
+
+    @property
+    def coarsenset(self) -> CoarsenSet:
+        return self.cds.coarsenset
+
+    @property
+    def near_blockset(self) -> BlockSet:
+        return self.cds.near_blockset
+
+    @property
+    def far_blockset(self) -> BlockSet:
+        return self.cds.far_blockset
+
+    # ------------------------------------------------------------- evaluation
+    def matmul(self, W: np.ndarray, pool=None, order: str = "original") -> np.ndarray:
+        """``Y = K~ @ W`` with the generated specialized code.
+
+        ``order="original"`` (default) treats W rows as being in the user's
+        input point order and returns Y in the same order; ``order="tree"``
+        skips both permutations (internal/benchmark use).
+        """
+        W = np.ascontiguousarray(W, dtype=np.float64)
+        squeeze = W.ndim == 1
+        if squeeze:
+            W = W[:, None]
+        if W.shape[0] != self.dim:
+            raise ValueError(
+                f"W has {W.shape[0]} rows but the HMatrix dimension is "
+                f"{self.dim}"
+            )
+        if order == "tree":
+            Y = self.evaluator(W, pool=pool)
+        elif order == "original":
+            perm = self.tree.perm
+            Y_tree = self.evaluator(W[perm], pool=pool)
+            Y = np.empty_like(Y_tree)
+            Y[perm] = Y_tree
+        else:
+            raise ValueError(f"order must be 'original' or 'tree', got {order!r}")
+        return Y[:, 0] if squeeze else Y
+
+    def __matmul__(self, W: np.ndarray) -> np.ndarray:
+        return self.matmul(W)
+
+    # -------------------------------------------------------------- reporting
+    def memory_bytes(self) -> int:
+        return self.cds.total_bytes()
+
+    def compression_ratio(self) -> float:
+        dense = self.dim * self.dim * 8
+        stored = self.memory_bytes()
+        return dense / stored if stored else float("inf")
+
+    def evaluation_flops(self, q: int) -> int:
+        return self.factors.evaluation_flops(q)
+
+    def summary(self) -> dict:
+        """Human-readable structural summary (used by examples and logs)."""
+        f = self.factors
+        active = f.sranks[f.sranks > 0]
+        return {
+            "N": self.dim,
+            "structure": f.htree.structure,
+            "tree_height": self.tree.height,
+            "num_leaves": int(len(self.tree.leaves)),
+            "near_interactions": f.htree.num_near(),
+            "far_interactions": f.htree.num_far(),
+            "mean_srank": float(active.mean()) if len(active) else 0.0,
+            "max_srank": int(active.max()) if len(active) else 0,
+            "memory_mb": self.memory_bytes() / 2**20,
+            "compression_ratio": self.compression_ratio(),
+            "lowering": {
+                "block_near": self.evaluator.decision.block_near,
+                "block_far": self.evaluator.decision.block_far,
+                "coarsen": self.evaluator.decision.coarsen,
+                "peel_root": self.evaluator.decision.peel_root,
+            },
+        }

@@ -1,0 +1,183 @@
+"""The MatRox inspector: modular compression + structure analysis + codegen.
+
+``inspector`` runs everything (the paper's Figure 2 usage). For inspection
+reuse (Section 5, Figure 8), the work is split into
+
+* ``inspector_p1`` — tree construction, interaction computation, sampling,
+  and *blocking*: everything that depends only on the points and the
+  admissibility condition;
+* ``inspector_p2`` — low-rank approximation, *coarsening* (needs sranks),
+  data-layout construction, and code generation: everything that depends on
+  the kernel function and the block accuracy.
+
+Changing the kernel and/or bacc therefore re-runs only p2 against a cached
+:class:`InspectionP1`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+from repro.analysis.blocking import build_blockset
+from repro.analysis.coarsening import build_coarsenset
+from repro.codegen.emit import generate_evaluator
+from repro.codegen.ir import build_ir
+from repro.codegen.lowering import decide_lowering
+from repro.compression.compressor import compress
+from repro.compression.skeleton import skeletonize_tree
+from repro.core.hmatrix import HMatrix
+from repro.htree.admissibility import Admissibility, make_admissibility
+from repro.htree.htree import HTree, build_htree
+from repro.kernels.base import Kernel, get_kernel
+from repro.sampling.plan import SamplingPlan, build_sampling_plan
+from repro.storage.cds import build_cds
+from repro.tree.build import build_cluster_tree
+from repro.tree.cluster_tree import ClusterTree
+
+
+def _default_p() -> int:
+    return os.cpu_count() or 1
+
+
+@dataclass
+class InspectionP1:
+    """Kernel/accuracy-independent inspection output (reusable)."""
+
+    tree: ClusterTree
+    htree: HTree
+    plan: SamplingPlan
+    near_blockset: object
+    far_blockset: object
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def total_time(self) -> float:
+        return sum(self.timings.values())
+
+
+@dataclass
+class Inspector:
+    """Configurable MatRox inspector.
+
+    Parameters mirror the paper's defaults: ``tau = 0.65`` / ``budget = 0.03``
+    admissibility, ``bacc = 1e-5``, leaf size 64, sampling size 32, max rank
+    256, ``agg = 2``, ``p`` = physical cores, near/far blocksizes 2/4,
+    coarsen-threshold 4, block-threshold = number of leaf nodes.
+    """
+
+    structure: str = "h2-geometric"
+    tau: float = 0.65
+    budget: float = 0.03
+    bacc: float = 1e-5
+    leaf_size: int = 64
+    sampling_size: int = 32
+    max_rank: int = 256
+    agg: int = 2
+    p: int = field(default_factory=_default_p)
+    near_blocksize: int = 2
+    far_blocksize: int = 4
+    coarsen_threshold: int = 4
+    block_threshold: int | None = None
+    far_block_threshold: int | None = None
+    low_level: bool = True
+    tree_method: str = "auto"
+    seed: int = 0
+
+    def _admissibility(self) -> Admissibility:
+        if self.structure in ("h2", "h2-geometric", "geometric"):
+            return make_admissibility(self.structure, tau=self.tau)
+        if self.structure in ("h2-b", "h2-budget", "budget"):
+            return make_admissibility(self.structure, budget=self.budget)
+        return make_admissibility(self.structure)
+
+    # ------------------------------------------------------------------ p1
+    def run_p1(self, points) -> InspectionP1:
+        """Tree + interactions + sampling + blocking (kernel-independent)."""
+        timings: dict[str, float] = {}
+        t0 = time.perf_counter()
+        tree = build_cluster_tree(points, leaf_size=self.leaf_size,
+                                  method=self.tree_method, seed=self.seed)
+        timings["tree_construction"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        htree = build_htree(tree, self._admissibility())
+        timings["interaction_computation"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        plan = build_sampling_plan(tree, k=self.sampling_size, seed=self.seed)
+        timings["sampling"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        near_bs = build_blockset(htree, self.near_blocksize, kind="near")
+        far_bs = build_blockset(htree, self.far_blocksize, kind="far")
+        timings["blocking"] = time.perf_counter() - t0
+
+        return InspectionP1(tree=tree, htree=htree, plan=plan,
+                            near_blockset=near_bs, far_blockset=far_bs,
+                            timings=timings)
+
+    # ------------------------------------------------------------------ p2
+    def run_p2(self, p1: InspectionP1, kernel: Kernel | str,
+               bacc: float | None = None) -> HMatrix:
+        """Low-rank approx + coarsening + CDS layout + codegen."""
+        if isinstance(kernel, str):
+            kernel = get_kernel(kernel)
+        bacc = self.bacc if bacc is None else bacc
+        timings: dict[str, float] = {}
+
+        t0 = time.perf_counter()
+        factors = skeletonize_tree(p1.htree, kernel, p1.plan,
+                                   bacc=bacc, max_rank=self.max_rank)
+        timings["low_rank_approximation"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        coarsenset = build_coarsenset(p1.tree, factors.sranks,
+                                      p=self.p, agg=self.agg)
+        timings["coarsening"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        cds = build_cds(factors, coarsenset, p1.near_blockset, p1.far_blockset)
+        timings["data_layout"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        ir = build_ir(factors, coarsenset=coarsenset,
+                      near_blockset=p1.near_blockset,
+                      far_blockset=p1.far_blockset)
+        decision = decide_lowering(ir, block_threshold=self.block_threshold,
+                                   far_block_threshold=self.far_block_threshold,
+                                   coarsen_threshold=self.coarsen_threshold,
+                                   low_level=self.low_level)
+        evaluator = generate_evaluator(cds, ir=ir, decision=decision)
+        timings["code_generation"] = time.perf_counter() - t0
+
+        return HMatrix(cds=cds, evaluator=evaluator,
+                       metadata={"bacc": bacc, "kernel": kernel.identity(),
+                                 "timings_p2": timings,
+                                 "timings_p1": dict(p1.timings)})
+
+    # ------------------------------------------------------------- one-shot
+    def run(self, points, kernel: Kernel | str) -> HMatrix:
+        p1 = self.run_p1(points)
+        return self.run_p2(p1, kernel)
+
+
+# ----------------------------------------------------------------- functional
+def inspector(points, kernel: Kernel | str = "gaussian", **config) -> HMatrix:
+    """One-shot inspection: points + kernel + config -> HMatrix.
+
+    The returned HMatrix carries both the CDS-stored generators and the
+    generated specialized multiplication (the paper's ``H`` and ``HMatMul``).
+    """
+    return Inspector(**config).run(points, kernel)
+
+
+def inspector_p1(points, **config) -> InspectionP1:
+    """Phase-1 inspection (reusable across kernel/accuracy changes)."""
+    return Inspector(**config).run_p1(points)
+
+
+def inspector_p2(p1: InspectionP1, kernel: Kernel | str = "gaussian",
+                 bacc: float | None = None, **config) -> HMatrix:
+    """Phase-2 inspection against a cached phase-1 result."""
+    return Inspector(**config).run_p2(p1, kernel, bacc=bacc)

@@ -1,0 +1,305 @@
+"""Persistence for inspection artifacts.
+
+The paper's usage model (Figures 2 and 8) stores the inspector outputs to
+disk — the CDS-packed HMatrix (``hmat.cds``), the generated code
+(``matmul.h``), and for inspection reuse the CTree, blockset, and sampling
+information — so the executor (or a later ``inspector_p2`` run) can load
+them without re-inspecting. This module provides the same capability:
+
+* :func:`save_hmatrix` / :func:`load_hmatrix` — the full HMatrix. The flat
+  CDS buffers and structure sets round-trip bit-exactly; the specialized
+  evaluator is *regenerated* on load from the stored lowering decision
+  (compiling the code is cheap; the expensive inspection is what's stored).
+* :func:`save_inspection_p1` / :func:`load_inspection_p1` — the reusable
+  phase-1 artifacts (tree, interactions, sampling plan, blocksets).
+
+Format: a single ``.npz`` file holding the numeric buffers plus a JSON
+manifest for the structural metadata. No pickle is involved, so the files
+are safe to share and stable across Python versions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.structure_sets import BlockSet, CoarsenLevel, CoarsenSet, SubTree
+from repro.codegen.emit import generate_evaluator
+from repro.codegen.lowering import LoweringDecision
+from repro.compression.factors import Factors
+from repro.core.hmatrix import HMatrix
+from repro.core.inspector import InspectionP1
+from repro.htree.htree import HTree
+from repro.sampling.plan import SamplingPlan
+from repro.storage.cds import build_cds
+from repro.tree.cluster_tree import ClusterTree
+
+_FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------------------
+# Structural (de)serialisation helpers.
+# --------------------------------------------------------------------------
+
+def _tree_arrays(tree: ClusterTree) -> dict[str, np.ndarray]:
+    return {
+        "tree_points": tree.points,
+        "tree_perm": tree.perm,
+        "tree_parent": tree.parent,
+        "tree_lchild": tree.lchild,
+        "tree_rchild": tree.rchild,
+        "tree_level": tree.level,
+        "tree_start": tree.start,
+        "tree_stop": tree.stop,
+    }
+
+
+def _tree_from_arrays(data) -> ClusterTree:
+    return ClusterTree(
+        data["tree_points"], data["tree_perm"], data["tree_parent"],
+        data["tree_lchild"], data["tree_rchild"], data["tree_level"],
+        data["tree_start"], data["tree_stop"],
+    )
+
+
+def _pairs_to_list(d: dict[int, list[int]]) -> list[list[int]]:
+    return [[int(k)] + [int(x) for x in v] for k, v in sorted(d.items())]
+
+
+def _pairs_from_list(rows) -> dict[int, list[int]]:
+    return {int(r[0]): [int(x) for x in r[1:]] for r in rows}
+
+
+def _blockset_manifest(bs: BlockSet) -> dict:
+    return {
+        "blocks": [[[int(i), int(j)] for (i, j) in b] for b in bs.blocks],
+        "blocksize": bs.blocksize,
+        "kind": bs.kind,
+    }
+
+
+def _blockset_from_manifest(m) -> BlockSet:
+    return BlockSet(
+        blocks=[[(int(i), int(j)) for i, j in b] for b in m["blocks"]],
+        blocksize=int(m["blocksize"]),
+        kind=m["kind"],
+    )
+
+
+def _coarsenset_manifest(cs: CoarsenSet) -> dict:
+    return {
+        "agg": cs.agg,
+        "num_partitions": cs.num_partitions,
+        "levels": [
+            {
+                "lb": cl.lb,
+                "ub": cl.ub,
+                "subtrees": [
+                    {"nodes": [int(v) for v in st.nodes],
+                     "cost": st.cost,
+                     "roots": [int(r) for r in st.roots]}
+                    for st in cl.subtrees
+                ],
+            }
+            for cl in cs.levels
+        ],
+    }
+
+
+def _coarsenset_from_manifest(m) -> CoarsenSet:
+    return CoarsenSet(
+        agg=int(m["agg"]),
+        num_partitions=int(m["num_partitions"]),
+        levels=[
+            CoarsenLevel(
+                lb=int(cl["lb"]), ub=int(cl["ub"]),
+                subtrees=[
+                    SubTree(nodes=[int(v) for v in st["nodes"]],
+                            cost=float(st["cost"]),
+                            roots=[int(r) for r in st["roots"]])
+                    for st in cl["subtrees"]
+                ],
+            )
+            for cl in m["levels"]
+        ],
+    )
+
+
+def _decision_manifest(d: LoweringDecision) -> dict:
+    return {
+        "block_near": d.block_near, "block_far": d.block_far,
+        "coarsen": d.coarsen, "peel_root": d.peel_root,
+        "block_threshold": d.block_threshold,
+        "far_block_threshold": d.far_block_threshold,
+        "coarsen_threshold": d.coarsen_threshold,
+        "reasons": list(d.reasons),
+    }
+
+
+def _decision_from_manifest(m) -> LoweringDecision:
+    return LoweringDecision(
+        block_near=bool(m["block_near"]), block_far=bool(m["block_far"]),
+        coarsen=bool(m["coarsen"]), peel_root=bool(m["peel_root"]),
+        block_threshold=int(m["block_threshold"]),
+        far_block_threshold=int(m["far_block_threshold"]),
+        coarsen_threshold=int(m["coarsen_threshold"]),
+        reasons=tuple(m.get("reasons", ())),
+    )
+
+
+# --------------------------------------------------------------------------
+# HMatrix save / load.
+# --------------------------------------------------------------------------
+
+def save_hmatrix(H: HMatrix, path) -> Path:
+    """Store the HMatrix (CDS buffers + structure) to ``path`` (.npz)."""
+    path = Path(path)
+    factors = H.factors
+    tree = H.tree
+    arrays: dict[str, np.ndarray] = dict(_tree_arrays(tree))
+    arrays["sranks"] = factors.sranks
+
+    # Generators: flat buffers are already packed in the CDS.
+    arrays["basis_buf"] = H.cds.basis_buf
+    arrays["near_buf"] = H.cds.near_buf
+    arrays["far_buf"] = H.cds.far_buf
+    for v, sk in factors.skeleton.items():
+        arrays[f"skeleton_{v}"] = sk
+
+    manifest = {
+        "version": _FORMAT_VERSION,
+        "structure": factors.htree.structure,
+        "near": _pairs_to_list(factors.htree.near),
+        "far": _pairs_to_list(factors.htree.far),
+        "near_blockset": _blockset_manifest(H.cds.near_blockset),
+        "far_blockset": _blockset_manifest(H.cds.far_blockset),
+        "coarsenset": _coarsenset_manifest(H.cds.coarsenset),
+        "decision": _decision_manifest(H.evaluator.decision),
+        "basis_offset": {str(k): int(v) for k, v in H.cds.basis_offset.items()},
+        "basis_shape": {str(k): list(v) for k, v in H.cds.basis_shape.items()},
+        "near_offset": {f"{i},{j}": int(o)
+                        for (i, j), o in H.cds.near_offset.items()},
+        "far_offset": {f"{i},{j}": int(o)
+                       for (i, j), o in H.cds.far_offset.items()},
+        "metadata": {k: v for k, v in H.metadata.items()
+                     if isinstance(v, (str, int, float, bool))},
+    }
+    arrays["manifest"] = np.frombuffer(
+        json.dumps(manifest).encode(), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_hmatrix(path) -> HMatrix:
+    """Load an HMatrix saved by :func:`save_hmatrix`; recompiles the code."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        manifest = json.loads(bytes(data["manifest"]).decode())
+        if manifest["version"] != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported hmatrix file version {manifest['version']}"
+            )
+        tree = _tree_from_arrays(data)
+        htree = HTree(tree=tree,
+                      near=_pairs_from_list(manifest["near"]),
+                      far=_pairs_from_list(manifest["far"]),
+                      structure=manifest["structure"])
+        factors = Factors(htree=htree)
+        factors.sranks = np.asarray(data["sranks"], dtype=np.intp)
+        factors.skeleton = {
+            int(k.split("_")[1]): np.asarray(data[k], dtype=np.intp)
+            for k in data.files if k.startswith("skeleton_")
+        }
+
+        # Rebuild the per-node / per-pair generator dicts as views into the
+        # loaded flat buffers (same layout the CDS will re-pack).
+        basis_buf = np.array(data["basis_buf"])
+        near_buf = np.array(data["near_buf"])
+        far_buf = np.array(data["far_buf"])
+        for vstr, off in manifest["basis_offset"].items():
+            v = int(vstr)
+            rows, cols = manifest["basis_shape"][vstr]
+            gen = basis_buf[off: off + rows * cols].reshape(rows, cols)
+            if tree.is_leaf(v):
+                factors.leaf_basis[v] = gen
+            else:
+                factors.transfer[v] = gen
+        for key, off in manifest["near_offset"].items():
+            i, j = (int(x) for x in key.split(","))
+            rows, cols = tree.node_size(i), tree.node_size(j)
+            factors.near_blocks[(i, j)] = near_buf[
+                off: off + rows * cols].reshape(rows, cols)
+        for key, off in manifest["far_offset"].items():
+            i, j = (int(x) for x in key.split(","))
+            rows = int(factors.sranks[i])
+            cols = int(factors.sranks[j])
+            factors.coupling[(i, j)] = far_buf[
+                off: off + rows * cols].reshape(rows, cols)
+
+    near_bs = _blockset_from_manifest(manifest["near_blockset"])
+    far_bs = _blockset_from_manifest(manifest["far_blockset"])
+    coarsenset = _coarsenset_from_manifest(manifest["coarsenset"])
+    decision = _decision_from_manifest(manifest["decision"])
+
+    cds = build_cds(factors, coarsenset, near_bs, far_bs)
+    evaluator = generate_evaluator(cds, decision=decision)
+    return HMatrix(cds=cds, evaluator=evaluator,
+                   metadata=dict(manifest.get("metadata", {})))
+
+
+# --------------------------------------------------------------------------
+# InspectionP1 save / load (Figure 8's reuse artifacts).
+# --------------------------------------------------------------------------
+
+def save_inspection_p1(p1: InspectionP1, path) -> Path:
+    """Store the reusable phase-1 inspection to ``path`` (.npz)."""
+    path = Path(path)
+    arrays = dict(_tree_arrays(p1.tree))
+    for v, s in p1.plan.samples.items():
+        arrays[f"samples_{v}"] = s
+    manifest = {
+        "version": _FORMAT_VERSION,
+        "structure": p1.htree.structure,
+        "near": _pairs_to_list(p1.htree.near),
+        "far": _pairs_to_list(p1.htree.far),
+        "near_blockset": _blockset_manifest(p1.near_blockset),
+        "far_blockset": _blockset_manifest(p1.far_blockset),
+        "plan": {"k": p1.plan.k, "method": p1.plan.method,
+                 "seed": p1.plan.seed, "stats": p1.plan.stats},
+        "timings": p1.timings,
+    }
+    arrays["manifest"] = np.frombuffer(
+        json.dumps(manifest).encode(), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_inspection_p1(path) -> InspectionP1:
+    """Load phase-1 inspection artifacts saved by :func:`save_inspection_p1`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        manifest = json.loads(bytes(data["manifest"]).decode())
+        if manifest["version"] != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported inspection file version {manifest['version']}"
+            )
+        tree = _tree_from_arrays(data)
+        samples = {
+            int(k.split("_")[1]): np.asarray(data[k], dtype=np.intp)
+            for k in data.files if k.startswith("samples_")
+        }
+    htree = HTree(tree=tree,
+                  near=_pairs_from_list(manifest["near"]),
+                  far=_pairs_from_list(manifest["far"]),
+                  structure=manifest["structure"])
+    pm = manifest["plan"]
+    plan = SamplingPlan(samples=samples, k=int(pm["k"]), method=pm["method"],
+                        seed=pm["seed"], stats=pm.get("stats", {}))
+    return InspectionP1(
+        tree=tree, htree=htree, plan=plan,
+        near_blockset=_blockset_from_manifest(manifest["near_blockset"]),
+        far_blockset=_blockset_from_manifest(manifest["far_blockset"]),
+        timings={k: float(v) for k, v in manifest.get("timings", {}).items()},
+    )

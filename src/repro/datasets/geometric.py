@@ -1,0 +1,80 @@
+"""Low-dimensional scientific point sets (Table 1, problem IDs 9-13)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+from repro.utils.validation import require
+
+
+def grid_points(n: int, d: int = 2) -> np.ndarray:
+    """Regular d-dimensional lattice with roughly ``n`` points in [0, 1]^d.
+
+    Matches the paper's ``grid`` dataset (d = 2). The side length is the
+    d-th root of n rounded up, and the lattice is truncated back to exactly
+    ``n`` points so callers get the size they asked for.
+    """
+    require(n > 0, "n must be positive")
+    require(d in (1, 2, 3), f"grid supports d in {{1,2,3}}, got {d}")
+    side = int(np.ceil(n ** (1.0 / d)))
+    axes = [np.linspace(0.0, 1.0, side) for _ in range(d)]
+    mesh = np.meshgrid(*axes, indexing="ij")
+    pts = np.stack([m.ravel() for m in mesh], axis=1)
+    return np.ascontiguousarray(pts[:n])
+
+
+def random_points(n: int, d: int = 2, seed=None) -> np.ndarray:
+    """Uniform random points in the unit cube (the paper's ``random``, d = 2)."""
+    require(n > 0, "n must be positive")
+    rng = as_rng(seed)
+    return rng.random((n, d))
+
+
+def dino_points(n: int, seed=None) -> np.ndarray:
+    """A noisy closed 3-D parametric curve, standing in for the ``dino`` surface.
+
+    The paper's dino set is a 3-D surface scan (d = 3). We sample a trefoil
+    knot thickened with small Gaussian noise: a 1-D manifold embedded in 3-D,
+    giving the strongly non-uniform, low-intrinsic-dimension geometry that
+    makes hierarchical compression effective on surface scans.
+    """
+    require(n > 0, "n must be positive")
+    rng = as_rng(seed)
+    t = rng.random(n) * 2.0 * np.pi
+    x = np.sin(t) + 2.0 * np.sin(2.0 * t)
+    y = np.cos(t) - 2.0 * np.cos(2.0 * t)
+    z = -np.sin(3.0 * t)
+    pts = np.stack([x, y, z], axis=1)
+    pts += rng.normal(scale=0.02, size=pts.shape)
+    return pts
+
+
+def sunflower_points(n: int, seed=None) -> np.ndarray:
+    """Vogel sunflower spiral in 2-D (the paper's ``sunflower`` set).
+
+    Points at radius sqrt(k) and angle k * golden angle — a classical
+    quasi-uniform but strongly center-dense distribution.
+    """
+    require(n > 0, "n must be positive")
+    golden = np.pi * (3.0 - np.sqrt(5.0))
+    k = np.arange(1, n + 1, dtype=np.float64)
+    r = np.sqrt(k / n)
+    theta = k * golden
+    return np.stack([r * np.cos(theta), r * np.sin(theta)], axis=1)
+
+
+def unit_sphere_points(n: int, d: int = 2, seed=None) -> np.ndarray:
+    """Points on the unit circle/sphere (the paper's ``unit`` set, d = 2).
+
+    d is the *ambient* dimension; points lie on the (d-1)-sphere, so the
+    intrinsic dimension is d - 1 — the classic case where weak admissibility
+    (HSS) still compresses well.
+    """
+    require(n > 0, "n must be positive")
+    require(d >= 2, "unit sphere needs ambient d >= 2")
+    rng = as_rng(seed)
+    g = rng.normal(size=(n, d))
+    norms = np.linalg.norm(g, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return g / norms

@@ -1,0 +1,29 @@
+"""HTree: cluster tree augmented with near/far interaction lists.
+
+The interaction-computation module applies an admissibility rule to the
+CTree and records, per node, which same-level nodes interact as *near*
+(kept exact, dense D blocks) and which as *far* (low-rank approximated
+B blocks). Three admissibility flavours from the paper are supported:
+
+* geometric ``tau`` admissibility (SMASH-style, default ``tau = 0.65``),
+* HSS / weak admissibility (STRUMPACK: every off-diagonal block is far),
+* GOFMM-style *budget* admissibility (H2-b: a fraction of the nearest
+  off-diagonal interactions is kept exact).
+"""
+
+from repro.htree.admissibility import (
+    BudgetAdmissibility,
+    GeometricAdmissibility,
+    HSSAdmissibility,
+    make_admissibility,
+)
+from repro.htree.htree import HTree, build_htree
+
+__all__ = [
+    "HTree",
+    "build_htree",
+    "GeometricAdmissibility",
+    "HSSAdmissibility",
+    "BudgetAdmissibility",
+    "make_admissibility",
+]

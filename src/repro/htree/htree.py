@@ -1,0 +1,154 @@
+"""HTree construction via dual-tree traversal.
+
+Starting from the (root, root) pair, each node pair is tested against the
+admissibility rule: admissible pairs become *far* interactions (B blocks),
+leaf-leaf inadmissible pairs become *near* interactions (D blocks), and
+everything else recurses into children. This finds each far interaction at
+the highest (cheapest) tree level where it is admissible, exactly as in the
+paper's interaction-computation module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.htree.admissibility import Admissibility, make_admissibility
+from repro.tree.cluster_tree import ClusterTree
+
+
+@dataclass
+class HTree:
+    """Cluster tree plus near/far interaction lists.
+
+    ``near[i]`` / ``far[i]`` list the partner node ids interacting with node
+    ``i`` (self-interactions ``(i, i)`` appear in ``near[i]`` for leaves).
+    Lists are sorted so traversal order is deterministic.
+    """
+
+    tree: ClusterTree
+    near: dict[int, list[int]] = field(default_factory=dict)
+    far: dict[int, list[int]] = field(default_factory=dict)
+    structure: str = "h2-geometric"
+
+    @property
+    def num_nodes(self) -> int:
+        return self.tree.num_nodes
+
+    def near_pairs(self) -> list[tuple[int, int]]:
+        """All near (i, j) pairs, i-major sorted."""
+        return [(i, j) for i in sorted(self.near) for j in self.near[i]]
+
+    def far_pairs(self) -> list[tuple[int, int]]:
+        """All far (i, j) pairs, i-major sorted."""
+        return [(i, j) for i in sorted(self.far) for j in self.far[i]]
+
+    def num_near(self) -> int:
+        return sum(len(v) for v in self.near.values())
+
+    def num_far(self) -> int:
+        return sum(len(v) for v in self.far.values())
+
+    def nodes_with_basis(self) -> list[int]:
+        """Nodes that need U/V (or transfer) generators.
+
+        A node needs a basis iff it participates in a far interaction or has
+        a descendant that does (its T must be propagated upward). Computed by
+        marking far endpoints and closing over ancestors' children.
+        """
+        tree = self.tree
+        needed = np.zeros(tree.num_nodes, dtype=bool)
+        for i, partners in self.far.items():
+            if partners:
+                needed[i] = True
+        # Propagate down: if a node is needed, both children are needed
+        # (the upward pass computes a parent's T from both children's T).
+        for v in range(tree.num_nodes):
+            if needed[v] and not tree.is_leaf(v):
+                needed[tree.lchild[v]] = True
+                needed[tree.rchild[v]] = True
+        return [int(v) for v in np.flatnonzero(needed)]
+
+    def validate(self) -> None:
+        """Check structural invariants; raises AssertionError on violation."""
+        tree = self.tree
+        leaves = set(tree.leaves.tolist())
+        for i, partners in self.near.items():
+            assert i in leaves, f"near list on non-leaf node {i}"
+            for j in partners:
+                assert j in leaves, f"near partner {j} of {i} is not a leaf"
+                assert i in self.near.get(j, []), f"near pair ({i},{j}) not symmetric"
+        for i, partners in self.far.items():
+            for j in partners:
+                assert i != j, "self far-interaction"
+                assert i in self.far.get(j, []), f"far pair ({i},{j}) not symmetric"
+
+    def coverage_matrix(self) -> np.ndarray:
+        """Boolean N x N matrix (tree order) marking which entries each
+        interaction covers — used by tests to prove the near/far lists tile
+        the full matrix exactly once."""
+        n = self.tree.num_points
+        covered = np.zeros((n, n), dtype=np.int32)
+        t = self.tree
+        for i, j in self.near_pairs():
+            covered[t.start[i]:t.stop[i], t.start[j]:t.stop[j]] += 1
+        for i, j in self.far_pairs():
+            covered[t.start[i]:t.stop[i], t.start[j]:t.stop[j]] += 1
+        return covered
+
+
+def build_htree(tree: ClusterTree, admissibility: Admissibility | str = "h2-geometric",
+                **adm_params) -> HTree:
+    """Run the interaction-computation module: CTree + admissibility -> HTree."""
+    if isinstance(admissibility, str):
+        admissibility = make_admissibility(admissibility, **adm_params)
+    admissibility.prepare(tree)
+
+    near: dict[int, list[int]] = {int(v): [] for v in tree.leaves}
+    far: dict[int, list[int]] = {v: [] for v in range(tree.num_nodes)}
+
+    def recurse(a: int, b: int) -> None:
+        if a != b and admissibility.is_far(tree, a, b):
+            far[a].append(b)
+            if a != b:
+                far[b].append(a)
+            return
+        a_leaf, b_leaf = tree.is_leaf(a), tree.is_leaf(b)
+        if a_leaf and b_leaf:
+            near[a].append(b)
+            if a != b:
+                near[b].append(a)
+            return
+        # Recurse into the children of the non-leaf side(s). Only the a <= b
+        # representative of each unordered pair is visited to avoid double
+        # work; symmetry is restored when the pair is classified.
+        if a == b:
+            l, r = int(tree.lchild[a]), int(tree.rchild[a])
+            recurse(l, l)
+            recurse(l, r)
+            recurse(r, r)
+        elif b_leaf or (not a_leaf and tree.node_size(a) >= tree.node_size(b)):
+            recurse(int(tree.lchild[a]), b)
+            recurse(int(tree.rchild[a]), b)
+        else:
+            recurse(a, int(tree.lchild[b]))
+            recurse(a, int(tree.rchild[b]))
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 10_000 + 4 * tree.num_nodes))
+    try:
+        recurse(0, 0)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    for lst in near.values():
+        lst.sort()
+    for lst in far.values():
+        lst.sort()
+    far = {i: v for i, v in far.items() if v}
+
+    return HTree(tree=tree, near=near, far=far,
+                 structure=admissibility.structure_name)

@@ -1,0 +1,28 @@
+"""Kernel functions K(x, y) used to induce the (implicit) dense kernel matrix.
+
+The paper evaluates with the Gaussian kernel (bandwidth 5) against GOFMM and
+STRUMPACK, and the inverse-distance kernel ``1/||x - y||`` (SMASH's default)
+against SMASH. We additionally ship Laplace, Matérn-3/2 and polynomial kernels
+so the inspection-reuse experiments can change the kernel function, not only
+the accuracy.
+"""
+
+from repro.kernels.base import Kernel, get_kernel, register_kernel
+from repro.kernels.distance import pairwise_sq_distances
+from repro.kernels.gaussian import GaussianKernel
+from repro.kernels.inverse import InverseDistanceKernel
+from repro.kernels.laplace import LaplaceKernel
+from repro.kernels.matern import Matern32Kernel
+from repro.kernels.polynomial import PolynomialKernel
+
+__all__ = [
+    "Kernel",
+    "get_kernel",
+    "register_kernel",
+    "pairwise_sq_distances",
+    "GaussianKernel",
+    "InverseDistanceKernel",
+    "LaplaceKernel",
+    "Matern32Kernel",
+    "PolynomialKernel",
+]

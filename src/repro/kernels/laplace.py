@@ -1,0 +1,28 @@
+"""Laplace (exponential) kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import Kernel, register_kernel
+from repro.kernels.distance import pairwise_distances
+from repro.utils.validation import check_positive
+
+
+@register_kernel("laplace")
+class LaplaceKernel(Kernel):
+    """``K(x, y) = exp(-||x - y|| / h)``.
+
+    Decays slower than Gaussian, so far-field blocks carry higher numerical
+    rank — useful for stressing the adaptive-rank logic in tests.
+    """
+
+    def __init__(self, bandwidth: float = 1.0):
+        check_positive(bandwidth, name="bandwidth")
+        self.bandwidth = float(bandwidth)
+
+    def block(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        return np.exp(pairwise_distances(X, Y) * (-1.0 / self.bandwidth))
+
+    def params(self) -> dict:
+        return {"bandwidth": self.bandwidth}

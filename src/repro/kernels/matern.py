@@ -1,0 +1,27 @@
+"""Matérn-3/2 kernel, common in Gaussian-process regression workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import Kernel, register_kernel
+from repro.kernels.distance import pairwise_distances
+from repro.utils.validation import check_positive
+
+_SQRT3 = np.sqrt(3.0)
+
+
+@register_kernel("matern32")
+class Matern32Kernel(Kernel):
+    """``K(x, y) = (1 + sqrt(3) r / h) exp(-sqrt(3) r / h)`` with ``r = ||x - y||``."""
+
+    def __init__(self, bandwidth: float = 1.0):
+        check_positive(bandwidth, name="bandwidth")
+        self.bandwidth = float(bandwidth)
+
+    def block(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        scaled = pairwise_distances(X, Y) * (_SQRT3 / self.bandwidth)
+        return (1.0 + scaled) * np.exp(-scaled)
+
+    def params(self) -> dict:
+        return {"bandwidth": self.bandwidth}

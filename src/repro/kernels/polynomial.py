@@ -1,0 +1,31 @@
+"""Inhomogeneous polynomial kernel ``(x.y + c)^p``."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import Kernel, register_kernel
+
+
+@register_kernel("polynomial")
+class PolynomialKernel(Kernel):
+    """``K(x, y) = (x . y + offset)^degree``.
+
+    Globally low-rank (rank bounded by a polynomial in d), so it exercises
+    the extreme end of the compressibility spectrum: every far block
+    compresses to a tiny srank regardless of the admissibility setting.
+    """
+
+    def __init__(self, degree: int = 2, offset: float = 1.0):
+        if not isinstance(degree, (int, np.integer)) or degree < 1:
+            raise ValueError(f"degree must be a positive integer, got {degree!r}")
+        self.degree = int(degree)
+        self.offset = float(offset)
+
+    def block(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        X = np.ascontiguousarray(X, dtype=np.float64)
+        Y = np.ascontiguousarray(Y, dtype=np.float64)
+        return (X @ Y.T + self.offset) ** self.degree
+
+    def params(self) -> dict:
+        return {"degree": self.degree, "offset": self.offset}

@@ -1,0 +1,15 @@
+"""Measurement utilities: flop accounting and inspector cost models."""
+
+from repro.metrics.costmodel import (
+    InspectorCosts,
+    inspector_cost_model,
+    simulate_inspector_seconds,
+)
+from repro.metrics.flops import evaluation_flop_breakdown
+
+__all__ = [
+    "evaluation_flop_breakdown",
+    "InspectorCosts",
+    "inspector_cost_model",
+    "simulate_inspector_seconds",
+]

@@ -1,0 +1,124 @@
+"""Inspector (compression) cost model for the simulated-machine figures.
+
+The comparative overall-time figures (Fig. 4, Fig. 10) stack compression,
+structure-analysis, code-generation, and executor time. Our compression runs
+in pure Python, so its wall time is not commensurable with the simulated
+executor seconds; instead we count the *flops the compression performs*
+(kernel block assembly, pivoted-QR IDs, k-NN search) and convert them to
+seconds on the same machine model. Structure analysis and code generation
+are modelled as the paper reports them: on average 8.1% of inspection time,
+split between the two.
+
+The same model serves GOFMM (same ID-based compression) and STRUMPACK
+(randomized-sampling compression, modelled as a constant factor more work —
+Fig. 4 shows it consistently slower).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.compressor import CompressionResult
+from repro.runtime.machine import MachineModel
+
+# Cost (flops) of evaluating one kernel entry for d-dimensional points:
+# distance accumulation (2d) plus the transcendental (~20).
+_KERNEL_ENTRY_FLOPS = lambda d: 2.0 * d + 20.0
+
+# Paper: "structure analysis and code generation in MatRox is on average 8.1
+# percent of inspection time"; we split it 60/40 between the two stages.
+STRUCTURE_ANALYSIS_FRACTION = 0.081 * 0.6
+CODE_GENERATION_FRACTION = 0.081 * 0.4
+
+
+@dataclass
+class InspectorCosts:
+    """Flop counts of the compression modules (machine-independent)."""
+
+    sampling_flops: float
+    lowrank_flops: float
+    kernel_flops: float
+    tree_flops: float
+
+    @property
+    def compression_flops(self) -> float:
+        return (self.sampling_flops + self.lowrank_flops
+                + self.kernel_flops + self.tree_flops)
+
+
+def inspector_cost_model(result: CompressionResult) -> InspectorCosts:
+    """Count the work modular compression performed for ``result``."""
+    tree = result.tree
+    factors = result.factors
+    n, d = tree.num_points, tree.dim
+    entry = _KERNEL_ENTRY_FLOPS(d)
+
+    # Tree construction: ~log2(N/leaf) passes of projection + partition.
+    depth = max(tree.height, 1)
+    tree_flops = 2.0 * n * d * depth
+
+    # Sampling: k-NN cost depends on the method the module actually used —
+    # exact k-NN is O(N^2 d) (why sampling dominates compression for
+    # high-dimensional sets like mnist, 89.2% in the paper); rp-trees are
+    # O(trees * N * leaf * d).
+    k = result.plan.k
+    if result.plan.method == "exact":
+        knn_flops = float(n) * n * (2.0 * d + 4.0)
+    else:
+        tree_count, rp_leaf = 4.0, 128.0
+        knn_flops = tree_count * n * rp_leaf * (2.0 * d + 4.0)
+    sampling_flops = knn_flops + sum(
+        len(s) * d for s in result.plan.samples.values()
+    )
+
+    # Low-rank approximation: per node, assemble the sample block
+    # (s x m kernel entries) and run pivoted QR (2 s m^2).
+    lowrank = 0.0
+    kernel_cost = 0.0
+    for v in range(tree.num_nodes):
+        r = factors.srank(v)
+        if r == 0:
+            continue
+        if tree.is_leaf(v):
+            m = tree.node_size(v)
+        else:
+            lc, rc = int(tree.lchild[v]), int(tree.rchild[v])
+            m = factors.srank(lc) + factors.srank(rc)
+        s = max(2 * m, 8)
+        kernel_cost += s * m * entry
+        lowrank += 2.0 * s * m * m
+    # Coupling and near block assembly are kernel evaluations too.
+    kernel_cost += sum(b.size * entry for b in factors.coupling.values())
+    kernel_cost += sum(b.size * entry for b in factors.near_blocks.values())
+
+    return InspectorCosts(
+        sampling_flops=sampling_flops,
+        lowrank_flops=lowrank,
+        kernel_flops=kernel_cost,
+        tree_flops=tree_flops,
+    )
+
+
+def simulate_inspector_seconds(
+    costs: InspectorCosts,
+    machine: MachineModel,
+    p: int | None = None,
+    overhead: float = 1.0,
+) -> dict[str, float]:
+    """Convert inspector flop counts to simulated seconds.
+
+    Compression parallelises well in all tools (independent per-node IDs),
+    so it runs on ``p`` cores at small-GEMM efficiency. ``overhead``
+    scales the compression (STRUMPACK's randomized sampling: ~2.5x).
+    Returns a stage -> seconds dict including the modelled structure
+    analysis and code generation stages.
+    """
+    p = machine.num_cores if p is None else p
+    compress_s = overhead * machine.flop_seconds(
+        costs.compression_flops, cores=p
+    )
+    return {
+        "compression": compress_s,
+        "structure_analysis": compress_s * STRUCTURE_ANALYSIS_FRACTION,
+        "code_generation": compress_s * CODE_GENERATION_FRACTION,
+    }

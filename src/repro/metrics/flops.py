@@ -1,0 +1,30 @@
+"""Flop accounting for the evaluation phase, broken down by loop."""
+
+from __future__ import annotations
+
+from repro.compression.factors import Factors
+
+
+def evaluation_flop_breakdown(factors: Factors, q: int) -> dict[str, float]:
+    """Flops per abstract loop of one HMatrix-matrix multiply."""
+    t = factors.tree
+    near = sum(
+        2.0 * t.node_size(i) * t.node_size(j) * q
+        for (i, j) in factors.near_blocks
+    )
+    leaf = sum(
+        2.0 * V.shape[0] * V.shape[1] * q for V in factors.leaf_basis.values()
+    )
+    transfer = sum(
+        2.0 * E.shape[0] * E.shape[1] * q for E in factors.transfer.values()
+    )
+    coupling = sum(
+        2.0 * B.shape[0] * B.shape[1] * q for B in factors.coupling.values()
+    )
+    return {
+        "near": near,
+        "upward": leaf + transfer,
+        "coupling": coupling,
+        "downward": leaf + transfer,
+        "total": near + 2 * (leaf + transfer) + coupling,
+    }

@@ -1,0 +1,10 @@
+"""Terminal-friendly figure rendering for the benchmark harness.
+
+The benchmarks regenerate the paper's tables and figures in environments
+without a display or plotting stack, so the charts render as text: grouped
+bar charts (Fig. 5), line charts (Fig. 7), and scatter plots (Fig. 6).
+"""
+
+from repro.reporting.ascii_plots import bar_chart, line_chart, scatter_plot
+
+__all__ = ["bar_chart", "line_chart", "scatter_plot"]

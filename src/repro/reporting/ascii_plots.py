@@ -1,0 +1,152 @@
+"""ASCII chart primitives (no plotting dependencies)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import require
+
+
+def _fmt_num(x: float) -> str:
+    if x == 0:
+        return "0"
+    if abs(x) >= 1000 or abs(x) < 0.01:
+        return f"{x:.1e}"
+    return f"{x:.2f}".rstrip("0").rstrip(".")
+
+
+def bar_chart(
+    labels: list[str],
+    series: dict[str, list[float]],
+    title: str = "",
+    width: int = 40,
+    symbol_cycle: str = "#=+*o@",
+) -> str:
+    """Grouped horizontal bar chart.
+
+    ``series`` maps a series name to one value per label (e.g. GFLOP/s per
+    dataset per system). Bars are scaled to the global maximum.
+    """
+    require(len(series) >= 1, "need at least one series")
+    for name, vals in series.items():
+        require(len(vals) == len(labels),
+                f"series {name!r} has {len(vals)} values for "
+                f"{len(labels)} labels")
+    peak = max((max(v) for v in series.values()), default=0.0)
+    if peak <= 0:
+        peak = 1.0
+    label_w = max((len(l) for l in labels), default=0)
+    name_w = max(len(n) for n in series)
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for i, label in enumerate(labels):
+        for j, (name, vals) in enumerate(series.items()):
+            n = int(round(vals[i] / peak * width))
+            sym = symbol_cycle[j % len(symbol_cycle)]
+            head = label if j == 0 else ""
+            lines.append(
+                f"{head:>{label_w}} {name:>{name_w}} |{sym * n:<{width}}| "
+                f"{_fmt_num(vals[i])}"
+            )
+        lines.append("")
+    legend = "  ".join(
+        f"{symbol_cycle[j % len(symbol_cycle)]}={name}"
+        for j, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    x: list[float],
+    series: dict[str, list[float]],
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+    symbol_cycle: str = "*o+x#@",
+) -> str:
+    """Multi-series line (really: marker) chart on a character grid."""
+    require(len(x) >= 2, "need at least two x values")
+    for name, vals in series.items():
+        require(len(vals) == len(x), f"series {name!r} length mismatch")
+    xmin, xmax = min(x), max(x)
+    ymax = max(max(v) for v in series.values())
+    ymin = min(min(v) for v in series.values())
+    if math.isclose(ymax, ymin):
+        ymax = ymin + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for j, (name, vals) in enumerate(series.items()):
+        sym = symbol_cycle[j % len(symbol_cycle)]
+        for xi, yi in zip(x, vals):
+            col = int((xi - xmin) / (xmax - xmin) * (width - 1))
+            row = int((yi - ymin) / (ymax - ymin) * (height - 1))
+            grid[height - 1 - row][col] = sym
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{_fmt_num(ymax):>10} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 10 + " |" + "".join(row) + "|")
+    lines.append(f"{_fmt_num(ymin):>10} +" + "-" * width + "+")
+    lines.append(
+        " " * 12 + f"{_fmt_num(xmin)}" + " " * (width - 12) + f"{_fmt_num(xmax)}"
+    )
+    legend = "  ".join(
+        f"{symbol_cycle[j % len(symbol_cycle)]}={name}"
+        for j, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    x: list[float],
+    y: list[float],
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+    fit_line: bool = True,
+) -> str:
+    """Scatter plot with an optional least-squares fit overlay ('.')."""
+    require(len(x) == len(y) and len(x) >= 2, "need matching x/y, >= 2 points")
+    xmin, xmax = min(x), max(x)
+    ymin, ymax = min(y), max(y)
+    if math.isclose(xmax, xmin):
+        xmax = xmin + 1.0
+    if math.isclose(ymax, ymin):
+        ymax = ymin + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    if fit_line:
+        n = len(x)
+        mx = sum(x) / n
+        my = sum(y) / n
+        sxx = sum((xi - mx) ** 2 for xi in x)
+        if sxx > 0:
+            slope = sum((xi - mx) * (yi - my) for xi, yi in zip(x, y)) / sxx
+            for col in range(width):
+                xv = xmin + col / (width - 1) * (xmax - xmin)
+                yv = my + slope * (xv - mx)
+                if ymin <= yv <= ymax:
+                    row = int((yv - ymin) / (ymax - ymin) * (height - 1))
+                    grid[height - 1 - row][col] = "."
+    for xi, yi in zip(x, y):
+        col = int((xi - xmin) / (xmax - xmin) * (width - 1))
+        row = int((yi - ymin) / (ymax - ymin) * (height - 1))
+        grid[height - 1 - row][col] = "*"
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{_fmt_num(ymax):>10} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 10 + " |" + "".join(row) + "|")
+    lines.append(f"{_fmt_num(ymin):>10} +" + "-" * width + "+")
+    lines.append(
+        " " * 12 + f"{_fmt_num(xmin)}" + " " * (width - 12) + f"{_fmt_num(xmax)}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Execution runtime: machine models, cache simulation, and schedule simulation.
+
+The paper evaluates on real Haswell/KNL multicores with PAPI counters. This
+sandbox has one core and no counters, so (per DESIGN.md section 2) the
+performance experiments run on a **simulated machine**: task graphs extracted
+from the real structure sets are executed by a discrete-event simulator with
+calibrated machine models, and locality is measured by a set-associative
+cache + TLB simulator fed with storage-layout-dependent access traces.
+
+Functional execution (the actual numerics) always uses the real generated
+code; the simulator only accounts time.
+"""
+
+from repro.runtime.cache import CacheHierarchy, CacheLevel, simulate_trace
+from repro.runtime.latency import average_memory_access_latency, locality_factor
+from repro.runtime.machine import HASWELL, KNL, MACHINES, MachineModel
+from repro.runtime.simulator import SimResult, simulate_dynamic, simulate_phases
+from repro.runtime.tasks import (
+    Phase,
+    Task,
+    gofmm_taskgraph,
+    levelbylevel_phases,
+    matrox_phases,
+)
+from repro.runtime.trace import cds_trace, treebased_trace
+
+__all__ = [
+    "MachineModel",
+    "HASWELL",
+    "KNL",
+    "MACHINES",
+    "CacheHierarchy",
+    "CacheLevel",
+    "simulate_trace",
+    "average_memory_access_latency",
+    "locality_factor",
+    "Task",
+    "Phase",
+    "matrox_phases",
+    "gofmm_taskgraph",
+    "levelbylevel_phases",
+    "simulate_phases",
+    "simulate_dynamic",
+    "SimResult",
+    "cds_trace",
+    "treebased_trace",
+]

@@ -1,0 +1,50 @@
+"""Average memory access latency (AMAL) and locality factors.
+
+The paper's Figure 6 proxy for locality: AMAL computed from cache/TLB
+hit-miss counters via the standard recursive formula
+
+    AMAL = tlb_penalty + hit_L1 + miss_L1 * (hit_L2 + miss_L2 * (... + memory))
+
+(Hennessy & Patterson). The *locality factor* of a storage layout is its
+AMAL normalised by the best-case AMAL (all L1 hits); the machine simulator
+uses it to inflate the memory-time of tasks reading that layout.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.cache import CacheCounters
+from repro.runtime.machine import MachineModel
+
+
+def average_memory_access_latency(counters: CacheCounters,
+                                  machine: MachineModel) -> float:
+    """AMAL in cycles per access."""
+    if counters.accesses == 0:
+        return machine.caches[0].hit_cycles
+
+    # Recursive miss-penalty chain, innermost level first.
+    penalty = machine.memory_cycles
+    for spec in reversed(machine.caches[1:]):
+        name = spec.name
+        total = counters.level_hits[name] + counters.level_misses[name]
+        miss = counters.level_misses[name] / total if total else 0.0
+        penalty = spec.hit_cycles + miss * penalty
+
+    l1 = machine.caches[0]
+    amal = l1.hit_cycles + counters.miss_ratio(l1.name) * penalty
+
+    tlb_total = counters.tlb_hits + counters.tlb_misses
+    if tlb_total:
+        tlb_miss = counters.tlb_misses / tlb_total
+        amal += machine.tlb_hit_cycles + tlb_miss * machine.tlb_miss_cycles
+    return amal
+
+
+def ideal_latency(machine: MachineModel) -> float:
+    """AMAL when every access hits L1 and the TLB."""
+    return machine.caches[0].hit_cycles + machine.tlb_hit_cycles
+
+
+def locality_factor(counters: CacheCounters, machine: MachineModel) -> float:
+    """AMAL relative to the all-hit ideal (>= 1); multiplies memory time."""
+    return average_memory_access_latency(counters, machine) / ideal_latency(machine)

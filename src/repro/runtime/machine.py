@@ -1,0 +1,163 @@
+"""Machine models for the simulated multicore.
+
+Parameters follow the paper's testbeds:
+
+* **Haswell** — Xeon E5-2680v3: 12 cores, 2.5 GHz, AVX2+FMA (16 DP
+  flops/cycle/core), 30 MB L3;
+* **KNL** — Xeon Phi 7250: 68 cores, 1.4 GHz, AVX-512 (32 DP
+  flops/cycle/core), 34 MB shared L2/L3-equivalent.
+
+Overhead constants (barrier, task-dequeue, atomic) are calibrated to typical
+measured magnitudes for OpenMP runtimes; the figures only rely on their
+relative effects (barriers grow with core count; a central task queue
+serialises dequeues), not their absolute values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """One cache level for the locality simulator."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+    hit_cycles: float = 4.0
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Cost-model parameters of one simulated multicore."""
+
+    name: str
+    num_cores: int
+    freq_ghz: float
+    flops_per_cycle: float          # per core, double precision
+    dram_bandwidth_gbs: float       # total socket bandwidth
+    single_core_bandwidth_gbs: float
+    # Synchronization / runtime overheads (microseconds).
+    barrier_base_us: float = 1.0    # fixed cost of an OpenMP barrier
+    barrier_per_core_us: float = 0.25
+    task_spawn_us: float = 0.5      # static task launch
+    dequeue_us: float = 1.2         # dynamic-scheduler dequeue (serialized)
+    atomic_us: float = 0.0015       # per atomically-updated output element
+    blas_efficiency: float = 0.80   # fraction of peak inside large GEMMs
+    small_gemm_efficiency: float = 0.35  # skinny/small tile GEMMs
+    # Cache hierarchy (first level first) + memory latency for AMAL.
+    caches: tuple[CacheSpec, ...] = ()
+    memory_cycles: float = 200.0
+    tlb_entries: int = 64
+    page_bytes: int = 4096
+    tlb_hit_cycles: float = 0.0
+    tlb_miss_cycles: float = 30.0
+
+    @property
+    def core_gflops(self) -> float:
+        """Peak GFLOP/s of one core."""
+        return self.freq_ghz * self.flops_per_cycle
+
+    @property
+    def peak_gflops(self) -> float:
+        return self.core_gflops * self.num_cores
+
+    def flop_seconds(self, flops: float, cores: float = 1.0,
+                     efficiency: float | None = None) -> float:
+        """Seconds to execute ``flops`` on ``cores`` cores."""
+        eff = self.small_gemm_efficiency if efficiency is None else efficiency
+        rate = self.core_gflops * 1e9 * eff * cores
+        return flops / rate if rate > 0 else 0.0
+
+    def mem_seconds(self, nbytes: float, active_cores: int = 1,
+                    locality: float = 1.0) -> float:
+        """Seconds to move ``nbytes``; ``locality`` >= 1 inflates traffic.
+
+        Bandwidth per core saturates: one core gets
+        ``single_core_bandwidth``; with many active cores the socket
+        bandwidth is divided between them.
+        """
+        per_core = min(
+            self.single_core_bandwidth_gbs,
+            self.dram_bandwidth_gbs / max(active_cores, 1),
+        )
+        return nbytes * locality / (per_core * 1e9)
+
+    def barrier_seconds(self, cores: int) -> float:
+        return (self.barrier_base_us + self.barrier_per_core_us * cores) * 1e-6
+
+    def scaled_caches(self, factor: float) -> "MachineModel":
+        """Copy of this machine with cache/TLB capacities scaled by ``factor``.
+
+        Benchmarks run the paper's datasets at reduced N (pure-Python
+        compression); scaling the cache capacity by the same ratio preserves
+        the footprint-to-cache regime, so capacity-miss behaviour matches
+        the full-scale problem. Latencies, bandwidth, and core counts are
+        untouched.
+        """
+        from dataclasses import replace
+
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        caches = tuple(
+            CacheSpec(
+                name=c.name,
+                size_bytes=max(c.line_bytes * c.ways, int(c.size_bytes * factor)),
+                ways=c.ways,
+                line_bytes=c.line_bytes,
+                hit_cycles=c.hit_cycles,
+            )
+            for c in self.caches
+        )
+        tlb = max(8, int(self.tlb_entries * factor))
+        return replace(self, caches=caches, tlb_entries=tlb)
+
+
+HASWELL = MachineModel(
+    name="haswell",
+    num_cores=12,
+    freq_ghz=2.5,
+    flops_per_cycle=16.0,
+    dram_bandwidth_gbs=68.0,
+    single_core_bandwidth_gbs=18.0,
+    barrier_base_us=1.2,
+    barrier_per_core_us=0.25,
+    task_spawn_us=0.4,
+    dequeue_us=1.0,
+    atomic_us=0.0015,
+    small_gemm_efficiency=0.55,
+    caches=(
+        CacheSpec("L1", 32 * 1024, 8, 64, hit_cycles=4.0),
+        CacheSpec("L2", 256 * 1024, 8, 64, hit_cycles=12.0),
+        CacheSpec("L3", 30 * 1024 * 1024, 20, 64, hit_cycles=40.0),
+    ),
+    memory_cycles=210.0,
+    tlb_entries=64,
+)
+
+KNL = MachineModel(
+    name="knl",
+    num_cores=68,
+    freq_ghz=1.4,
+    flops_per_cycle=32.0,
+    dram_bandwidth_gbs=380.0,        # MCDRAM flat mode
+    single_core_bandwidth_gbs=12.0,
+    barrier_base_us=2.5,
+    barrier_per_core_us=0.6,         # barriers scale poorly on manycore
+    task_spawn_us=0.8,
+    dequeue_us=2.5,                  # slow cores + contended central queue
+    atomic_us=0.003,
+    blas_efficiency=0.70,
+    small_gemm_efficiency=0.25,
+    caches=(
+        CacheSpec("L1", 32 * 1024, 8, 64, hit_cycles=4.0),
+        CacheSpec("L2", 512 * 1024, 16, 64, hit_cycles=17.0),
+        CacheSpec("L3", 34 * 1024 * 1024, 16, 64, hit_cycles=60.0),
+    ),
+    memory_cycles=230.0,
+    tlb_entries=64,
+)
+
+MACHINES = {"haswell": HASWELL, "knl": KNL}

@@ -1,0 +1,248 @@
+"""Discrete-event machine simulator for static phases and dynamic task graphs.
+
+The simulator charges each task its compute time (flops at small-GEMM
+efficiency) plus its memory time (bytes over the contended bandwidth,
+inflated by the storage layout's locality factor), and charges the runtime
+structure its synchronization costs: barriers between phases, task-spawn
+overhead for static loops, serialized dequeues for the dynamic central
+queue, atomics for library reduction loops, and cold-cache migration
+penalties when the dynamic scheduler moves a task away from its data.
+
+All the scheduling disciplines the paper compares are expressible:
+
+* MatRox generated code  -> :func:`simulate_phases` on ``matrox_phases``;
+* GOFMM dynamic tasking  -> :func:`simulate_dynamic` on ``gofmm_taskgraph``;
+* STRUMPACK/SMASH levels -> :func:`simulate_phases` on ``levelbylevel_phases``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.runtime.machine import MachineModel
+from repro.runtime.tasks import Phase, Task
+
+# Compute-stall inflation when the dynamic scheduler migrates a task away
+# from the worker holding its data (cold private caches), plus the extra
+# fraction of its bytes refetched from shared cache/DRAM.
+_MIGRATION_STALL = 1.80
+_MIGRATION_REFETCH = 0.8
+
+
+def _effective_locality(locality: float, active: int, beta: float) -> float:
+    """Shared-cache contention: scattered working sets (tree-based storage)
+    evict each other as more cores run, inflating the stall portion of the
+    locality factor. Schedules that co-locate dependent tasks on compact
+    CDS regions (MatRox) pass ``beta = 0``."""
+    return 1.0 + (locality - 1.0) * (1.0 + beta * max(active - 1, 0))
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated evaluation."""
+
+    time_s: float
+    phase_times: dict[str, float] = field(default_factory=dict)
+    busy_s: float = 0.0
+    overhead_s: float = 0.0
+    num_tasks: int = 0
+
+    @property
+    def parallel_efficiency(self) -> float:
+        return self.busy_s / self.time_s if self.time_s > 0 else 0.0
+
+    def gflops(self, flops: float) -> float:
+        return flops / self.time_s / 1e9 if self.time_s > 0 else 0.0
+
+
+def _task_seconds(task: Task, machine: MachineModel, active: int,
+                  locality: float) -> float:
+    """Time of one task on one core.
+
+    The locality factor (AMAL relative to the all-hit ideal, >= 1) stalls
+    the compute pipeline of these small memory-dependent GEMMs *and*
+    degrades the effective streaming bandwidth of the generator bytes
+    (scattered layouts defeat the prefetcher and pay TLB stalls mid-stream).
+    """
+    comp = machine.flop_seconds(task.flops) * locality
+    mem = machine.mem_seconds(task.bytes, active_cores=active) * locality
+    return comp + mem
+
+
+def _chunk(units: list, p: int) -> list[list]:
+    """Assign units to p workers with dynamic chunk scheduling.
+
+    Models ``omp for schedule(dynamic)`` over conflict-free units: each unit
+    goes to the currently lightest worker (in unit order), which is what a
+    work-queue of blocks converges to. Blocks carry no write conflicts, so
+    this costs no atomics — only the per-unit spawn overhead already charged.
+    """
+    n = len(units)
+    if n == 0:
+        return []
+    p = min(p, n)
+    loads = [0.0] * p
+    out: list[list] = [[] for _ in range(p)]
+    for u in units:
+        w = min(range(p), key=loads.__getitem__)
+        out[w].extend(u)
+        loads[w] += sum(t.flops for t in u)
+    return [chunk for chunk in out if chunk]
+
+
+def simulate_phases(
+    phases: list[Phase],
+    machine: MachineModel,
+    p: int | None = None,
+    locality: float = 1.0,
+    contention_beta: float = 0.0,
+) -> SimResult:
+    """Simulate a static schedule: phases in order, barrier after each
+    parallel phase. Phase time = slowest worker + synchronization.
+    ``contention_beta`` > 0 models shared-cache thrash of scattered
+    (tree-based) working sets growing with active cores."""
+    p = machine.num_cores if p is None else p
+    total = 0.0
+    busy = 0.0
+    overhead = 0.0
+    ntasks = 0
+    phase_times: dict[str, float] = {}
+
+    for phase in phases:
+        ntasks += phase.num_tasks()
+        if phase.kind == "serial":
+            work = sum(
+                _task_seconds(t, machine, 1, locality)
+                for u in phase.units for t in u
+            )
+            dt = work
+            busy += work
+        elif phase.kind == "blas":
+            # Peeled root iteration: one fat BLAS call — blocked GEMMs are
+            # insensitive to the storage layout, so no locality stall.
+            flops = phase.total_flops()
+            nbytes = phase.total_bytes()
+            comp = machine.flop_seconds(flops, cores=p,
+                                        efficiency=machine.blas_efficiency)
+            mem = machine.mem_seconds(nbytes, active_cores=p) / max(p, 1)
+            dt = comp + mem + machine.barrier_seconds(p)
+            busy += (comp + mem) * p
+            overhead += machine.barrier_seconds(p)
+        elif phase.kind in ("parallel_for", "parallel_units"):
+            if phase.kind == "parallel_for":
+                assignments = _chunk(phase.units, p)
+            else:
+                assignments = [list(u) for u in phase.units[:]]
+                # More units than workers: fold extras onto workers greedily.
+                if len(assignments) > p:
+                    folded = [[] for _ in range(p)]
+                    for idx, u in enumerate(assignments):
+                        folded[idx % p].extend(u)
+                    assignments = folded
+            active = max(1, len(assignments))
+            loc_eff = _effective_locality(locality, active, contention_beta)
+            worker_times = []
+            atomic_contention = 1.0 + 0.03 * (active - 1)
+            for unit in assignments:
+                wt = machine.task_spawn_us * 1e-6
+                for t in unit:
+                    dt_task = _task_seconds(t, machine, active, loc_eff)
+                    if phase.atomic_per_task and t.atomic:
+                        # Every output element updated atomically, contended
+                        # by the other active workers (Fig. 1d lines 4-5).
+                        dt_task += (
+                            t.out_elems * machine.atomic_us * 1e-6
+                            * atomic_contention
+                        )
+                    wt += dt_task
+                worker_times.append(wt)
+            work = sum(worker_times)
+            dt = (max(worker_times) if worker_times else 0.0) + (
+                machine.barrier_seconds(p)
+            )
+            busy += work
+            overhead += machine.barrier_seconds(p)
+        else:
+            raise ValueError(f"unknown phase kind {phase.kind!r}")
+        phase_times[phase.name] = phase_times.get(phase.name, 0.0) + dt
+        total += dt
+
+    return SimResult(time_s=total, phase_times=phase_times, busy_s=busy,
+                     overhead_s=overhead, num_tasks=ntasks)
+
+
+def simulate_dynamic(
+    tasks: list[Task],
+    machine: MachineModel,
+    p: int | None = None,
+    locality: float = 1.0,
+    contention_beta: float = 0.06,
+) -> SimResult:
+    """Simulate a dynamic central-queue scheduler (the GOFMM model).
+
+    List scheduling over the dependency graph with three costs the static
+    schedule avoids: a serialized dequeue per task, loss of data affinity
+    when a task lands on a worker whose previous task touched different
+    data (extra ``_MIGRATION_REFETCH`` of its bytes), and FIFO ordering
+    that ignores locality entirely.
+    """
+    p = machine.num_cores if p is None else p
+    n = len(tasks)
+    if n == 0:
+        return SimResult(time_s=0.0)
+
+    indeg = [len(t.deps) for t in tasks]
+    dependents: list[list[int]] = [[] for _ in range(n)]
+    for i, t in enumerate(tasks):
+        for d in t.deps:
+            dependents[d].append(i)
+
+    ready: list[tuple[float, int]] = []  # (ready_time, task_idx) FIFO-ish
+    for i, t in enumerate(tasks):
+        if indeg[i] == 0:
+            heapq.heappush(ready, (0.0, i))
+
+    workers = [(0.0, w) for w in range(p)]  # (free_time, worker_id)
+    heapq.heapify(workers)
+    last_affinity: dict[int, int | None] = {w: None for w in range(p)}
+    queue_free = 0.0
+    finish = [0.0] * n
+    busy = 0.0
+    overhead = 0.0
+    done = 0
+    makespan = 0.0
+    # Central-queue lock contention grows with the workers hammering it.
+    dq = machine.dequeue_us * 1e-6 * (1.0 + 0.05 * p)
+    loc_eff = _effective_locality(locality, min(p, n), contention_beta)
+
+    while done < n:
+        ready_time, idx = heapq.heappop(ready)
+        free_time, w = heapq.heappop(workers)
+        start = max(ready_time, free_time, queue_free) + dq
+        queue_free = start  # dequeues serialize through the queue lock
+        overhead += dq
+        t = tasks[idx]
+        dur = _task_seconds(t, machine, min(p, n), loc_eff)
+        if p > 1 and last_affinity[w] is not None and last_affinity[w] != t.affinity:
+            # Cold private cache after migration; the penalty saturates as
+            # core count grows (1 - 1/p of tasks land on a foreign core).
+            scale = 1.0 - 1.0 / p
+            dur *= 1.0 + (_MIGRATION_STALL - 1.0) * scale
+            dur += machine.mem_seconds(
+                t.bytes * _MIGRATION_REFETCH * scale, active_cores=min(p, n)
+            )
+        last_affinity[w] = t.affinity
+        end = start + dur
+        busy += dur
+        finish[idx] = end
+        makespan = max(makespan, end)
+        heapq.heappush(workers, (end, w))
+        done += 1
+        for dep in dependents[idx]:
+            indeg[dep] -= 1
+            if indeg[dep] == 0:
+                heapq.heappush(ready, (end, dep))
+
+    return SimResult(time_s=makespan, busy_s=busy, overhead_s=overhead,
+                     num_tasks=n)

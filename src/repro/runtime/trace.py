@@ -1,0 +1,138 @@
+"""Storage-layout-dependent address traces for the cache simulator.
+
+The trace of one HMatrix-matrix multiplication is the sequence of cache-line
+addresses of every *generator* byte the evaluation reads, in execution-visit
+order. Only generator traffic is traced: the vector traffic (W/Y/T/S) is
+identical for every storage format, so it cancels in the CDS-vs-TB
+comparison Figure 6 makes.
+
+* CDS places generators contiguously in visit order, so the trace is a
+  near-perfect stream.
+* Tree-based storage places each generator in a separate heap allocation
+  made in compression order (with allocator headers and, optionally,
+  shuffled placement modelling heap fragmentation), so the same visit order
+  jumps through the address space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.cds import CDSMatrix
+from repro.storage.treebased import TreeBasedStorage
+from repro.utils.rng import as_rng
+
+LINE_BYTES = 64
+_HEADER_BYTES = 64    # allocator bookkeeping between heap blocks
+_PAGE_BYTES = 4096    # large allocations start on fresh pages (size classes)
+
+
+def matrox_visit_sequence(cds: CDSMatrix) -> list[tuple[str, object]]:
+    """Generator visit order of the MatRox generated code."""
+    seq: list[tuple[str, object]] = []
+    seq.extend(("near", p) for p in cds.near_visit_order())
+    up = cds.basis_visit_order()
+    seq.extend(("basis", v) for v in up)
+    seq.extend(("far", p) for p in cds.far_visit_order())
+    seq.extend(("basis", v) for v in reversed(up))
+    return seq
+
+
+def library_visit_sequence(factors) -> list[tuple[str, object]]:
+    """Generator visit order of the library-style loops (Fig. 1d):
+    near pairs in list order, tree loops level-by-level."""
+    tree = factors.tree
+    seq: list[tuple[str, object]] = []
+    seq.extend(("near", p) for p in sorted(factors.near_blocks))
+    by_level: list[list[int]] = [[] for _ in range(tree.height + 1)]
+    for v in range(tree.num_nodes):
+        if factors.srank(v) > 0:
+            by_level[int(tree.level[v])].append(v)
+    for level in reversed(by_level):          # bottom-up upward pass
+        seq.extend(("basis", v) for v in level)
+    seq.extend(("far", p) for p in sorted(factors.coupling))
+    for level in by_level:                    # top-down downward pass
+        seq.extend(("basis", v) for v in level)
+    return seq
+
+
+def cds_address_map(cds: CDSMatrix) -> dict[tuple[str, object], tuple[int, int]]:
+    """(kind, key) -> (byte base, byte length) for the CDS flat buffers."""
+    addr: dict[tuple[str, object], tuple[int, int]] = {}
+    base = 0
+    for v, off in cds.basis_offset.items():
+        rows, cols = cds.basis_shape[v]
+        addr[("basis", v)] = (base + off * 8, rows * cols * 8)
+    base += cds.basis_buf.nbytes
+    tree = cds.tree
+    for p, off in cds.near_offset.items():
+        i, j = p
+        nbytes = tree.node_size(i) * tree.node_size(j) * 8
+        addr[("near", p)] = (base + off * 8, nbytes)
+    base += cds.near_buf.nbytes
+    for p, off in cds.far_offset.items():
+        i, j = p
+        nbytes = cds.factors.srank(i) * cds.factors.srank(j) * 8
+        addr[("far", p)] = (base + off * 8, nbytes)
+    return addr
+
+
+def treebased_address_map(
+    tb: TreeBasedStorage, shuffle: bool = True, seed: int = 0
+) -> dict[tuple[str, object], tuple[int, int]]:
+    """(kind, key) -> (byte base, byte length) for per-node heap allocations.
+
+    Allocations are laid out in compression (allocation) order with an
+    allocator header between blocks; with ``shuffle=True`` the placement
+    order is permuted to model heap reuse/fragmentation in a long-lived
+    process.
+    """
+    entries = []
+    for kind, key in tb.allocation_order:
+        arr = {"basis": tb.basis, "near": tb.near, "far": tb.far}[kind][key]
+        entries.append(((kind, key), arr.nbytes))
+    order = np.arange(len(entries))
+    if shuffle:
+        order = as_rng(seed).permutation(len(entries))
+    addr: dict[tuple[str, object], tuple[int, int]] = {}
+    cursor = 0
+    for idx in order:
+        (kind_key, nbytes) = entries[idx]
+        cursor += _HEADER_BYTES
+        if nbytes >= _PAGE_BYTES // 2:
+            # Size-class allocators round big blocks to page boundaries.
+            cursor = -(-cursor // _PAGE_BYTES) * _PAGE_BYTES
+        addr[kind_key] = (cursor, nbytes)
+        cursor += nbytes
+    return addr
+
+
+def trace_from_sequence(
+    addr_map: dict[tuple[str, object], tuple[int, int]],
+    sequence: list[tuple[str, object]],
+    line_bytes: int = LINE_BYTES,
+) -> np.ndarray:
+    """Expand a visit sequence into cache-line addresses."""
+    chunks = []
+    for key in sequence:
+        base, nbytes = addr_map[key]
+        first = base // line_bytes
+        last = (base + max(nbytes, 1) - 1) // line_bytes
+        chunks.append(np.arange(first, last + 1, dtype=np.int64))
+    if not chunks:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(chunks)
+
+
+def cds_trace(cds: CDSMatrix) -> np.ndarray:
+    """Line-address trace of one evaluation against CDS storage."""
+    return trace_from_sequence(cds_address_map(cds), matrox_visit_sequence(cds))
+
+
+def treebased_trace(tb: TreeBasedStorage, shuffle: bool = True,
+                    seed: int = 0) -> np.ndarray:
+    """Line-address trace of one library-style evaluation against TB storage."""
+    return trace_from_sequence(
+        treebased_address_map(tb, shuffle=shuffle, seed=seed),
+        library_visit_sequence(tb.factors),
+    )

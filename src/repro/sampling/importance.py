@@ -1,0 +1,42 @@
+"""Importance sampling of per-node candidate lists."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+from repro.utils.validation import require
+
+
+def importance_sample(
+    candidates: np.ndarray,
+    weights: np.ndarray | None,
+    size: int,
+    rng=None,
+) -> np.ndarray:
+    """Pick ``size`` candidates without replacement, biased by ``weights``.
+
+    If the candidate list is already no larger than ``size`` it is returned
+    as-is. ``weights=None`` means uniform. Weights are normalised defensively
+    so callers can pass unnormalised importance scores (e.g. inverse
+    distances).
+    """
+    candidates = np.asarray(candidates, dtype=np.intp)
+    require(size >= 0, "size must be non-negative")
+    if len(candidates) <= size:
+        return np.sort(candidates)
+    rng = as_rng(rng)
+    if weights is None:
+        chosen = rng.choice(len(candidates), size=size, replace=False)
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        require(len(w) == len(candidates), "weights must match candidates")
+        require((w >= 0).all(), "weights must be non-negative")
+        total = w.sum()
+        if total <= 0:
+            chosen = rng.choice(len(candidates), size=size, replace=False)
+        else:
+            chosen = rng.choice(
+                len(candidates), size=size, replace=False, p=w / total
+            )
+    return np.sort(candidates[chosen])

@@ -1,0 +1,143 @@
+"""Per-node sampling plan: the output of the sampling module.
+
+The plan maps every tree node to the original-order indices of its far-field
+sample points. It depends only on the points and the CTree (plus RNG seed),
+so it is computed once in ``inspector_p1`` and reused verbatim across kernel
+and accuracy changes — the paper measures this reuse saving 89.2% of mnist's
+compression time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sampling.importance import importance_sample
+from repro.sampling.neighbors import exact_knn, node_neighbor_lists
+from repro.sampling.rptree import rptree_knn
+from repro.tree.cluster_tree import ClusterTree
+from repro.utils.rng import as_rng
+from repro.utils.validation import require
+
+
+@dataclass
+class SamplingPlan:
+    """Sample indices per node (original point order) + provenance metadata."""
+
+    samples: dict[int, np.ndarray]
+    k: int
+    method: str
+    seed: int | None = None
+    stats: dict = field(default_factory=dict)
+
+    def for_node(self, v: int) -> np.ndarray:
+        return self.samples[v]
+
+    def num_samples(self, v: int) -> int:
+        return len(self.samples[v])
+
+
+def build_sampling_plan(
+    tree: ClusterTree,
+    k: int = 32,
+    num_samples: int | None = None,
+    exact_threshold: int = 4096,
+    n_trees: int = 4,
+    random_fraction: float = 0.25,
+    seed=None,
+) -> SamplingPlan:
+    """Build the per-node far-field sample plan.
+
+    Parameters
+    ----------
+    tree:
+        The cluster tree (only geometry + clustering are consulted).
+    k:
+        Point-level neighbour count — the paper's *sampling size* (default 32).
+    num_samples:
+        Target sample-set size per node. Defaults to ``4 * k``, which keeps
+        the ID row count comfortably above typical sranks.
+    exact_threshold:
+        Below this N, exact k-NN is used; above it, random-projection trees
+        (matching the paper: exact k-NN "can be costly ... use a greedy
+        search based on random projection trees").
+    random_fraction:
+        Fraction of each node's sample budget drawn uniformly from the rest
+        of the point set instead of the neighbour candidates; guards the ID
+        against a sample set that is *all* near-field.
+    """
+    n = tree.num_points
+    require(n >= 2, "need at least two points")
+    k_eff = min(k, n - 1)
+    target = num_samples if num_samples is not None else 4 * k
+    rng = as_rng(seed)
+
+    if n <= exact_threshold:
+        knn = exact_knn(tree.points, k_eff)
+        method = "exact"
+    else:
+        knn = rptree_knn(tree.points, k_eff, n_trees=n_trees, seed=seed)
+        method = "rptree"
+
+    candidates = node_neighbor_lists(tree, knn)
+    centers = tree.centers
+
+    samples: dict[int, np.ndarray] = {}
+    in_node = np.zeros(n, dtype=bool)
+    for v in range(tree.num_nodes):
+        own = tree.node_point_indices(v)
+        outside = n - len(own)
+        if outside == 0:
+            samples[v] = np.empty(0, dtype=np.intp)  # root: no far field
+            continue
+        budget = min(target, outside)
+        n_random = int(round(budget * random_fraction))
+        n_neighbor = budget - n_random
+
+        cand = candidates[v]
+        # Nearer candidates dominate the far-field row space for decaying
+        # (and especially singular) kernels. The k closest candidates are
+        # taken deterministically — a barely-admissible far partner MUST be
+        # represented or its near-singular rows are invisible to the ID —
+        # and the rest of the neighbour budget is importance-sampled by
+        # inverse distance to the node center.
+        if len(cand) > 0 and n_neighbor > 0:
+            d = np.linalg.norm(tree.points[cand] - centers[v], axis=1)
+            order = np.argsort(d, kind="stable")
+            n_sure = min(k, n_neighbor, len(cand))
+            sure = cand[order[:n_sure]]
+            rest = cand[order[n_sure:]]
+            n_rand_nbr = n_neighbor - n_sure
+            if len(rest) > 0 and n_rand_nbr > 0:
+                w = 1.0 / (d[order[n_sure:]] + 1e-12)
+                extra_nbr = importance_sample(rest, w, n_rand_nbr, rng)
+            else:
+                extra_nbr = np.empty(0, dtype=np.intp)
+            picked = np.concatenate([sure, extra_nbr])
+        else:
+            picked = np.empty(0, dtype=np.intp)
+
+        # Top up with uniform samples from the complement.
+        needed = budget - len(picked)
+        if needed > 0:
+            in_node[own] = True
+            in_node[picked] = True
+            pool = np.flatnonzero(~in_node)
+            in_node[own] = False
+            in_node[picked] = False
+            if len(pool) > needed:
+                extra = rng.choice(pool, size=needed, replace=False)
+            else:
+                extra = pool
+            picked = np.concatenate([picked, extra])
+        samples[v] = np.unique(picked.astype(np.intp))
+
+    stats = {
+        "knn_method": method,
+        "k": k_eff,
+        "target": target,
+        "mean_samples": float(np.mean([len(s) for s in samples.values()])),
+    }
+    return SamplingPlan(samples=samples, k=k_eff, method=method,
+                        seed=seed if isinstance(seed, int) else None, stats=stats)

@@ -1,0 +1,109 @@
+"""Approximate k-NN with random-projection trees.
+
+Each tree recursively splits the point set at the median of a random
+projection until leaves are small, then brute-forces neighbours inside each
+leaf. Several independent trees are merged; because any fixed pair of nearby
+points lands in the same leaf of *some* tree with high probability, the
+merged result approaches exact k-NN as trees are added — the greedy-search
+construction the paper cites (Dasgupta & Freund) for high-dimensional points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.distance import pairwise_sq_distances
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.validation import check_points, require
+
+
+def _leaf_partition(pts: np.ndarray, rng, leaf_size: int) -> list[np.ndarray]:
+    """Indices grouped into rp-tree leaves (iterative median splits)."""
+    stack = [np.arange(len(pts), dtype=np.intp)]
+    leaves: list[np.ndarray] = []
+    while stack:
+        idx = stack.pop()
+        if len(idx) <= leaf_size:
+            leaves.append(idx)
+            continue
+        direction = rng.normal(size=pts.shape[1])
+        nrm = np.linalg.norm(direction)
+        if nrm == 0.0:
+            direction[0] = 1.0
+            nrm = 1.0
+        proj = pts[idx] @ (direction / nrm)
+        half = len(idx) // 2
+        order = np.argsort(proj, kind="stable")
+        stack.append(idx[order[:half]])
+        stack.append(idx[order[half:]])
+    return leaves
+
+
+def _merge_leaf_neighbors(
+    pts: np.ndarray,
+    leaves: list[np.ndarray],
+    k: int,
+    best_d: np.ndarray,
+    best_i: np.ndarray,
+) -> None:
+    """Brute-force each leaf and fold results into the running best-k tables."""
+    for idx in leaves:
+        if len(idx) < 2:
+            continue
+        d2 = pairwise_sq_distances(pts[idx], pts[idx])
+        np.fill_diagonal(d2, np.inf)
+        kk = min(k, len(idx) - 1)
+        part = np.argpartition(d2, kk - 1, axis=1)[:, :kk]
+        part_d = np.take_along_axis(d2, part, axis=1)
+        for row, point in enumerate(idx):
+            cand_i = idx[part[row]]
+            cand_d = part_d[row]
+            # Merge candidates into this point's current best-k list.
+            merged_i = np.concatenate([best_i[point], cand_i])
+            merged_d = np.concatenate([best_d[point], cand_d])
+            merged_i, keep = np.unique(merged_i, return_index=True)
+            merged_d = merged_d[keep]
+            top = np.argsort(merged_d, kind="stable")[:k]
+            best_i[point, : len(top)] = merged_i[top]
+            best_d[point, : len(top)] = merged_d[top]
+
+
+def rptree_knn(
+    points,
+    k: int,
+    n_trees: int = 4,
+    leaf_size: int = 128,
+    seed=None,
+) -> np.ndarray:
+    """Approximate k-NN indices (N, k) via merged random-projection trees."""
+    pts = check_points(points)
+    n = len(pts)
+    require(1 <= k < n, f"k must be in [1, N-1], got k={k}, N={n}")
+    require(n_trees >= 1, "need at least one tree")
+    leaf_size = max(leaf_size, k + 1)
+
+    best_d = np.full((n, k), np.inf)
+    best_i = np.full((n, k), -1, dtype=np.intp)
+    for rng in spawn_rngs(seed, n_trees):
+        leaves = _leaf_partition(pts, rng, leaf_size)
+        _merge_leaf_neighbors(pts, leaves, k, best_d, best_i)
+
+    # Fill any residual -1 slots (possible when duplicate points collapse
+    # candidates) with random distinct indices so downstream code never
+    # sees invalid ids.
+    rng = as_rng(seed)
+    for row in range(n):
+        missing = np.flatnonzero(best_i[row] < 0)
+        if len(missing) == 0:
+            continue
+        pool = np.setdiff1d(rng.permutation(n), np.append(best_i[row], row))
+        best_i[row, missing] = pool[: len(missing)]
+    return best_i
+
+
+def knn_recall(approx: np.ndarray, exact: np.ndarray) -> float:
+    """Fraction of true neighbours recovered — the rp-tree quality metric."""
+    hits = 0
+    for a, e in zip(approx, exact):
+        hits += len(np.intersect1d(a, e))
+    return hits / exact.size

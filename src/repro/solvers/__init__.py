@@ -1,0 +1,24 @@
+"""Iterative solvers and estimators built on HMatrix products.
+
+The paper's motivating applications multiply the kernel matrix repeatedly:
+Gaussian ridge regression inside a direct/iterative solver, multigrid,
+Schur-complement methods. This package provides those consumers:
+
+* :func:`conjugate_gradient` — CG on any SPD operator;
+* :class:`KernelRidgeRegression` — fit/predict kernel ridge regression with
+  an HMatrix-compressed kernel;
+* :func:`power_iteration` / :func:`estimate_trace` — spectral-norm and
+  Hutchinson trace estimation via HMatrix products.
+"""
+
+from repro.solvers.cg import CGResult, conjugate_gradient
+from repro.solvers.estimators import estimate_trace, power_iteration
+from repro.solvers.ridge import KernelRidgeRegression
+
+__all__ = [
+    "conjugate_gradient",
+    "CGResult",
+    "KernelRidgeRegression",
+    "power_iteration",
+    "estimate_trace",
+]

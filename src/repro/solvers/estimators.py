@@ -1,0 +1,56 @@
+"""Spectral and trace estimators driven by HMatrix products."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+from repro.utils.validation import require
+
+
+def power_iteration(
+    apply_A: Callable[[np.ndarray], np.ndarray],
+    n: int,
+    tol: float = 1e-6,
+    max_iter: int = 200,
+    seed=0,
+) -> tuple[float, np.ndarray]:
+    """Dominant eigenvalue (by magnitude) and eigenvector of a symmetric
+    operator given as a mat-vec callable."""
+    require(n >= 1, "n must be >= 1")
+    rng = as_rng(seed)
+    v = rng.normal(size=n)
+    v /= np.linalg.norm(v)
+    lam = 0.0
+    for _ in range(max_iter):
+        w = apply_A(v)
+        norm = float(np.linalg.norm(w))
+        if norm == 0.0:
+            return 0.0, v
+        w /= norm
+        lam_new = float(w @ apply_A(w))
+        if abs(lam_new - lam) <= tol * max(abs(lam_new), 1.0):
+            return lam_new, w
+        lam, v = lam_new, w
+    return lam, v
+
+
+def estimate_trace(
+    apply_A: Callable[[np.ndarray], np.ndarray],
+    n: int,
+    num_probes: int = 32,
+    seed=0,
+) -> float:
+    """Hutchinson trace estimator with Rademacher probes.
+
+    One batched HMatrix-matrix product evaluates all probes at once —
+    exactly the "multiply by a large matrix" usage the paper amortises the
+    inspector against.
+    """
+    require(num_probes >= 1, "num_probes must be >= 1")
+    rng = as_rng(seed)
+    Z = rng.choice((-1.0, 1.0), size=(n, num_probes))
+    AZ = apply_A(Z)
+    return float(np.einsum("ij,ij->", Z, AZ) / num_probes)

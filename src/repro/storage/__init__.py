@@ -1,0 +1,14 @@
+"""Storage formats for the compressed generators.
+
+``CDSMatrix`` is the paper's Compressed Data-Sparse format: every generator
+lives in one flat float64 buffer, packed in exactly the order the generated
+evaluation code visits it (U/V by coarsenset order, B/D by blockset order),
+with srank-derived offsets. ``TreeBasedStorage`` models the library format
+the paper compares against: one separately-allocated array per submatrix in
+tree-construction order.
+"""
+
+from repro.storage.cds import CDSMatrix, build_cds
+from repro.storage.treebased import TreeBasedStorage, build_treebased
+
+__all__ = ["CDSMatrix", "build_cds", "TreeBasedStorage", "build_treebased"]

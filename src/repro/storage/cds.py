@@ -1,0 +1,155 @@
+"""Compressed Data-Sparse (CDS) storage format.
+
+CDS packs the submatrices into four flat buffers in *visit order*:
+
+* ``basis_buf``  — leaf V and interior transfer E matrices, in coarsenset
+  order (bottom coarsen level first, sub-tree by sub-tree, post-order inside
+  each sub-tree) — the order of the upward pass;
+* ``near_buf``   — D blocks in near-blockset order;
+* ``far_buf``    — B blocks in far-blockset order.
+
+Offsets are derived from sranks/block sizes, so a generator is addressed as
+``buf[offset[key] : offset[key] + rows*cols].reshape(rows, cols)`` — these
+reshapes are NumPy views into the flat buffer, never copies, preserving the
+format's locality in the executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.structure_sets import BlockSet, CoarsenSet
+from repro.compression.factors import Factors
+
+
+@dataclass
+class CDSMatrix:
+    """The HMatrix in CDS layout, ready for the generated executor."""
+
+    factors: Factors
+    coarsenset: CoarsenSet
+    near_blockset: BlockSet
+    far_blockset: BlockSet
+
+    basis_buf: np.ndarray = field(default_factory=lambda: np.empty(0))
+    near_buf: np.ndarray = field(default_factory=lambda: np.empty(0))
+    far_buf: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    basis_offset: dict[int, int] = field(default_factory=dict)
+    basis_shape: dict[int, tuple[int, int]] = field(default_factory=dict)
+    near_offset: dict[tuple[int, int], int] = field(default_factory=dict)
+    far_offset: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    @property
+    def tree(self):
+        return self.factors.tree
+
+    @property
+    def dim(self) -> int:
+        return self.factors.tree.num_points
+
+    # -------------------------------------------------------------- accessors
+    def basis(self, v: int) -> np.ndarray:
+        """View of node v's V (leaf) or E (interior) generator."""
+        rows, cols = self.basis_shape[v]
+        off = self.basis_offset[v]
+        return self.basis_buf[off : off + rows * cols].reshape(rows, cols)
+
+    def near(self, i: int, j: int) -> np.ndarray:
+        """View of the D block for near pair (i, j)."""
+        t = self.tree
+        rows, cols = t.node_size(i), t.node_size(j)
+        off = self.near_offset[(i, j)]
+        return self.near_buf[off : off + rows * cols].reshape(rows, cols)
+
+    def far(self, i: int, j: int) -> np.ndarray:
+        """View of the B block for far pair (i, j)."""
+        rows = self.factors.srank(i)
+        cols = self.factors.srank(j)
+        off = self.far_offset[(i, j)]
+        return self.far_buf[off : off + rows * cols].reshape(rows, cols)
+
+    def total_bytes(self) -> int:
+        return self.basis_buf.nbytes + self.near_buf.nbytes + self.far_buf.nbytes
+
+    # ------------------------------------------------------------ trace hooks
+    def basis_visit_order(self) -> list[int]:
+        """Node ids in upward-pass (coarsenset) visit order."""
+        return self.coarsenset.all_nodes()
+
+    def near_visit_order(self) -> list[tuple[int, int]]:
+        return self.near_blockset.all_interactions()
+
+    def far_visit_order(self) -> list[tuple[int, int]]:
+        return self.far_blockset.all_interactions()
+
+
+def build_cds(
+    factors: Factors,
+    coarsenset: CoarsenSet,
+    near_blockset: BlockSet,
+    far_blockset: BlockSet,
+) -> CDSMatrix:
+    """Pack the generators into CDS buffers following the structure sets."""
+    cds = CDSMatrix(
+        factors=factors,
+        coarsenset=coarsenset,
+        near_blockset=near_blockset,
+        far_blockset=far_blockset,
+    )
+    tree = factors.tree
+
+    # --- basis buffer in coarsenset (upward visit) order -------------------
+    order = coarsenset.all_nodes()
+    # Nodes carrying a basis but not reached by the coarsenset (possible when
+    # srank>0 nodes sit above the last coarsen level) are appended at the end.
+    covered = set(order)
+    extras = [
+        v
+        for v in range(tree.num_nodes)
+        if factors.srank(v) > 0 and v not in covered
+    ]
+    sizes: list[int] = []
+    for v in order + extras:
+        gen = factors.leaf_basis[v] if tree.is_leaf(v) else factors.transfer[v]
+        cds.basis_shape[v] = gen.shape
+        sizes.append(gen.size)
+    total = int(np.sum(sizes)) if sizes else 0
+    cds.basis_buf = np.empty(total)
+    off = 0
+    for v in order + extras:
+        gen = factors.leaf_basis[v] if tree.is_leaf(v) else factors.transfer[v]
+        cds.basis_offset[v] = off
+        cds.basis_buf[off : off + gen.size] = gen.ravel()
+        off += gen.size
+
+    # --- near buffer in near-blockset order ---------------------------------
+    near_order = near_blockset.all_interactions()
+    _pack_pairs(cds.near_offset, near_order, factors.near_blocks, "near", cds)
+
+    # --- far buffer in far-blockset order ------------------------------------
+    far_order = far_blockset.all_interactions()
+    _pack_pairs(cds.far_offset, far_order, factors.coupling, "far", cds)
+    return cds
+
+
+def _pack_pairs(offsets, order, blocks, which, cds) -> None:
+    missing = [p for p in order if p not in blocks]
+    if missing:
+        raise ValueError(f"{which} blockset references missing blocks: {missing[:5]}")
+    extra = [p for p in blocks if p not in set(order)]
+    full_order = list(order) + sorted(extra)
+    total = int(sum(blocks[p].size for p in full_order))
+    buf = np.empty(total)
+    off = 0
+    for p in full_order:
+        b = blocks[p]
+        offsets[p] = off
+        buf[off : off + b.size] = b.ravel()
+        off += b.size
+    if which == "near":
+        cds.near_buf = buf
+    else:
+        cds.far_buf = buf

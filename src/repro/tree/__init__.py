@@ -1,0 +1,21 @@
+"""Binary cluster tree (CTree) construction.
+
+The CTree hierarchically partitions the point set: the root owns all points,
+each interior node splits its points into two children, and partitioning
+stops when a node holds at most ``leaf_size`` points. Following the paper,
+kd-tree splitting is used for low-dimensional points (d <= 3) and two-means
+splitting for high-dimensional points (d > 3).
+"""
+
+from repro.tree.build import build_cluster_tree
+from repro.tree.cluster_tree import ClusterTree, TreeNode
+from repro.tree.kdtree import kdtree_split
+from repro.tree.twomeans import twomeans_split
+
+__all__ = [
+    "ClusterTree",
+    "TreeNode",
+    "build_cluster_tree",
+    "kdtree_split",
+    "twomeans_split",
+]

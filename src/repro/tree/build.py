@@ -1,0 +1,94 @@
+"""Cluster-tree builder: recursive bisection with pluggable split rule."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tree.cluster_tree import ClusterTree
+from repro.tree.kdtree import kdtree_split
+from repro.tree.twomeans import twomeans_split
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_points, require
+
+
+def build_cluster_tree(
+    points,
+    leaf_size: int = 64,
+    method: str = "auto",
+    seed=None,
+) -> ClusterTree:
+    """Build a binary :class:`ClusterTree` over ``points``.
+
+    Parameters
+    ----------
+    points:
+        (N, d) point set.
+    leaf_size:
+        Partitioning stops when a node holds at most this many points
+        (the paper's leaf-size constant ``m``).
+    method:
+        ``"kdtree"``, ``"twomeans"``, or ``"auto"`` which follows the paper:
+        kd-tree when d <= 3, two-means when d > 3.
+    seed:
+        RNG seed for the stochastic two-means splits.
+    """
+    pts = check_points(points)
+    require(leaf_size >= 1, f"leaf_size must be >= 1, got {leaf_size}")
+    n, d = pts.shape
+
+    if method == "auto":
+        method = "kdtree" if d <= 3 else "twomeans"
+    if method == "kdtree":
+        split = kdtree_split
+    elif method == "twomeans":
+        split = twomeans_split
+    else:
+        raise ValueError(f"unknown method {method!r}")
+
+    rng = as_rng(seed)
+
+    # BFS construction so node ids come out in breadth-first order.
+    parent: list[int] = [-1]
+    lchild: list[int] = [-1]
+    rchild: list[int] = [-1]
+    level: list[int] = [0]
+    start: list[int] = [0]
+    stop: list[int] = [n]
+    node_indices: dict[int, np.ndarray] = {0: np.arange(n, dtype=np.intp)}
+
+    frontier = [0]
+    while frontier:
+        next_frontier: list[int] = []
+        for v in frontier:
+            idx = node_indices[v]
+            if len(idx) <= leaf_size or len(idx) < 2:
+                continue
+            left_idx, right_idx = split(pts, idx, rng)
+            require(
+                len(left_idx) > 0 and len(right_idx) > 0,
+                "split rule produced an empty side",
+            )
+            for side, child_idx in ((0, left_idx), (1, right_idx)):
+                cid = len(parent)
+                parent.append(v)
+                lchild.append(-1)
+                rchild.append(-1)
+                level.append(level[v] + 1)
+                offset = start[v] if side == 0 else start[v] + len(left_idx)
+                start.append(offset)
+                stop.append(offset + len(child_idx))
+                node_indices[cid] = child_idx
+                if side == 0:
+                    lchild[v] = cid
+                else:
+                    rchild[v] = cid
+                next_frontier.append(cid)
+            del node_indices[v]
+        frontier = next_frontier
+
+    # Assemble the permutation from leaf ownership (leaves cover [0, N)).
+    perm = np.empty(n, dtype=np.intp)
+    for v, idx in node_indices.items():
+        perm[start[v] : stop[v]] = idx
+
+    return ClusterTree(pts, perm, parent, lchild, rchild, level, start, stop)

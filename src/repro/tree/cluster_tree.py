@@ -1,0 +1,205 @@
+"""Array-based binary cluster tree data structure.
+
+Nodes are numbered in breadth-first order (the numbering used in the paper's
+Figure 1b: root = 0, its children 1 and 2, ...). All per-node attributes live
+in flat NumPy arrays indexed by node id, which keeps traversals cache-friendly
+and makes the structure cheap to serialise — the same reasons the paper's CDS
+format favours flat storage.
+
+Each node owns the contiguous slice ``perm[start:stop]`` of the point
+permutation, so a leaf's points (and any subtree's points) are a contiguous
+range after reordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TreeNode:
+    """Convenience view of one cluster-tree node (ids refer to BFS order)."""
+
+    index: int
+    parent: int
+    lchild: int
+    rchild: int
+    level: int
+    start: int
+    stop: int
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.lchild < 0
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+
+class ClusterTree:
+    """Binary cluster tree over ``points``.
+
+    Parameters
+    ----------
+    points:
+        The (N, d) point set (unpermuted, as supplied by the user).
+    perm:
+        Permutation of ``range(N)``; node ``v`` owns ``perm[start[v]:stop[v]]``.
+    parent, lchild, rchild, level, start, stop:
+        Flat per-node arrays (BFS node order). ``lchild/rchild = -1`` on leaves.
+    """
+
+    def __init__(self, points, perm, parent, lchild, rchild, level, start, stop):
+        self.points = np.ascontiguousarray(points, dtype=np.float64)
+        self.perm = np.asarray(perm, dtype=np.intp)
+        self.parent = np.asarray(parent, dtype=np.intp)
+        self.lchild = np.asarray(lchild, dtype=np.intp)
+        self.rchild = np.asarray(rchild, dtype=np.intp)
+        self.level = np.asarray(level, dtype=np.intp)
+        self.start = np.asarray(start, dtype=np.intp)
+        self.stop = np.asarray(stop, dtype=np.intp)
+        self._validate()
+        # Points in tree order: leaf/subtree point blocks become contiguous.
+        self.ordered_points = self.points[self.perm]
+        self._centers = None
+        self._radii = None
+
+    # ------------------------------------------------------------------ basics
+    def _validate(self) -> None:
+        n_nodes = len(self.parent)
+        arrays = (self.lchild, self.rchild, self.level, self.start, self.stop)
+        if any(len(a) != n_nodes for a in arrays):
+            raise ValueError("per-node arrays must share one length")
+        if n_nodes == 0:
+            raise ValueError("tree must contain at least the root")
+        if sorted(self.perm.tolist()) != list(range(self.num_points)):
+            raise ValueError("perm must be a permutation of range(N)")
+        if self.start[0] != 0 or self.stop[0] != self.num_points:
+            raise ValueError("root must own the full point range")
+
+    @property
+    def num_points(self) -> int:
+        return len(self.points)
+
+    @property
+    def dim(self) -> int:
+        return self.points.shape[1]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.parent)
+
+    @property
+    def height(self) -> int:
+        """Maximum level (root has level 0)."""
+        return int(self.level.max())
+
+    def node(self, v: int) -> TreeNode:
+        return TreeNode(
+            index=v,
+            parent=int(self.parent[v]),
+            lchild=int(self.lchild[v]),
+            rchild=int(self.rchild[v]),
+            level=int(self.level[v]),
+            start=int(self.start[v]),
+            stop=int(self.stop[v]),
+        )
+
+    def is_leaf(self, v: int) -> bool:
+        return self.lchild[v] < 0
+
+    def node_size(self, v: int) -> int:
+        return int(self.stop[v] - self.start[v])
+
+    def node_point_indices(self, v: int) -> np.ndarray:
+        """Original (input-order) indices of the points owned by node ``v``."""
+        return self.perm[self.start[v] : self.stop[v]]
+
+    def node_points(self, v: int) -> np.ndarray:
+        """Coordinates of the points owned by node ``v`` (contiguous view)."""
+        return self.ordered_points[self.start[v] : self.stop[v]]
+
+    # -------------------------------------------------------------- traversals
+    @property
+    def leaves(self) -> np.ndarray:
+        return np.flatnonzero(self.lchild < 0)
+
+    def levels(self) -> list[np.ndarray]:
+        """Node ids grouped by level, root level first."""
+        return [np.flatnonzero(self.level == l) for l in range(self.height + 1)]
+
+    def postorder(self, root: int = 0) -> list[int]:
+        """Post-order node ids of the subtree rooted at ``root``."""
+        out: list[int] = []
+        stack: list[tuple[int, bool]] = [(root, False)]
+        while stack:
+            v, expanded = stack.pop()
+            if expanded or self.is_leaf(v):
+                out.append(v)
+            else:
+                stack.append((v, True))
+                stack.append((int(self.rchild[v]), False))
+                stack.append((int(self.lchild[v]), False))
+        return out
+
+    def subtree_nodes(self, root: int, max_level: int | None = None) -> list[int]:
+        """Post-order nodes of ``root``'s subtree, truncated below ``max_level``."""
+        out: list[int] = []
+        stack: list[tuple[int, bool]] = [(root, False)]
+        while stack:
+            v, expanded = stack.pop()
+            leafish = self.is_leaf(v) or (
+                max_level is not None and self.level[v] >= max_level
+            )
+            if expanded or leafish:
+                out.append(v)
+            else:
+                stack.append((v, True))
+                stack.append((int(self.rchild[v]), False))
+                stack.append((int(self.lchild[v]), False))
+        return out
+
+    # ------------------------------------------------------- geometry summary
+    def _compute_geometry(self) -> None:
+        centers = np.empty((self.num_nodes, self.dim))
+        radii = np.empty(self.num_nodes)
+        for v in range(self.num_nodes):
+            pts = self.node_points(v)
+            c = pts.mean(axis=0)
+            centers[v] = c
+            diff = pts - c
+            radii[v] = np.sqrt(np.max(np.einsum("ij,ij->i", diff, diff)))
+        self._centers = centers
+        self._radii = radii
+
+    @property
+    def centers(self) -> np.ndarray:
+        """Bounding-sphere centers per node (mean of owned points)."""
+        if self._centers is None:
+            self._compute_geometry()
+        return self._centers
+
+    @property
+    def radii(self) -> np.ndarray:
+        """Bounding-sphere radii per node."""
+        if self._radii is None:
+            self._compute_geometry()
+        return self._radii
+
+    def diameter(self, v: int) -> float:
+        """Bounding-sphere diameter of node ``v`` (2 * radius)."""
+        return 2.0 * float(self.radii[v])
+
+    def distance(self, a: int, b: int) -> float:
+        """Center-to-center distance between two nodes."""
+        return float(np.linalg.norm(self.centers[a] - self.centers[b]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClusterTree(N={self.num_points}, d={self.dim}, "
+            f"nodes={self.num_nodes}, height={self.height}, "
+            f"leaves={len(self.leaves)})"
+        )

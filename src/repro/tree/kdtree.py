@@ -1,0 +1,20 @@
+"""kd-tree splitting rule for low-dimensional points (d <= 3 in the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kdtree_split(points: np.ndarray, indices: np.ndarray, rng=None) -> tuple[np.ndarray, np.ndarray]:
+    """Split ``indices`` at the median of the widest coordinate.
+
+    Returns (left, right) index arrays with ``len(left) = ceil(m / 2)``.
+    Median splitting guarantees a balanced binary tree, which the coarsening
+    analysis relies on for predictable level widths.
+    """
+    pts = points[indices]
+    spread = pts.max(axis=0) - pts.min(axis=0)
+    axis = int(np.argmax(spread))
+    order = np.argsort(pts[:, axis], kind="stable")
+    half = (len(indices) + 1) // 2
+    return indices[order[:half]], indices[order[half:]]

@@ -1,0 +1,56 @@
+"""Two-means splitting rule for high-dimensional points (d > 3 in the paper).
+
+A few Lloyd iterations find two centers; points are then *balance-split* at
+the median of their projection onto the center-to-center axis. Projecting
+and splitting at the median (rather than assigning by nearest center) keeps
+the tree perfectly balanced, which matches how GOFMM and the paper's binary
+CTree behave and keeps level widths predictable for coarsening.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+
+def twomeans_split(
+    points: np.ndarray,
+    indices: np.ndarray,
+    rng=None,
+    n_iter: int = 4,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split ``indices`` into two balanced halves along the two-means axis."""
+    rng = as_rng(rng)
+    pts = points[indices]
+    m = len(indices)
+    if m < 2:
+        raise ValueError("cannot split fewer than 2 points")
+
+    # Seed the two centers with distinct random points.
+    seeds = rng.choice(m, size=2, replace=False)
+    c0, c1 = pts[seeds[0]].copy(), pts[seeds[1]].copy()
+    for _ in range(n_iter):
+        d0 = np.einsum("ij,ij->i", pts - c0, pts - c0)
+        d1 = np.einsum("ij,ij->i", pts - c1, pts - c1)
+        mask = d0 <= d1
+        if mask.all() or not mask.any():
+            break  # degenerate clustering; fall through to axis projection
+        new_c0 = pts[mask].mean(axis=0)
+        new_c1 = pts[~mask].mean(axis=0)
+        if np.allclose(new_c0, c0) and np.allclose(new_c1, c1):
+            c0, c1 = new_c0, new_c1
+            break
+        c0, c1 = new_c0, new_c1
+
+    axis = c1 - c0
+    norm = np.linalg.norm(axis)
+    if norm == 0.0:
+        # All points coincide (or clustering collapsed): random direction.
+        axis = rng.normal(size=pts.shape[1])
+        norm = np.linalg.norm(axis)
+    axis /= norm
+    proj = pts @ axis
+    order = np.argsort(proj, kind="stable")
+    half = (m + 1) // 2
+    return indices[order[:half]], indices[order[half:]]

@@ -1,0 +1,18 @@
+"""Shared utilities: validation helpers and deterministic RNG handling."""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.validation import (
+    check_points,
+    check_positive,
+    check_probability,
+    require,
+)
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "check_points",
+    "check_positive",
+    "check_probability",
+    "require",
+]

@@ -1,0 +1,37 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library (two-means partitioning,
+random-projection trees, importance sampling, synthetic datasets) accepts a
+``seed`` argument that is normalised through :func:`as_rng` so experiments are
+reproducible bit-for-bit across runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def as_rng(seed=None) -> np.random.Generator:
+    """Normalise ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh entropy), an integer seed, or an existing
+    ``Generator`` (returned unchanged so callers can thread one generator
+    through a pipeline).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``seed``.
+
+    Used when a component fans work out (e.g. one RNG per projection tree)
+    and needs streams that do not collide.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    root = np.random.SeedSequence(seed if isinstance(seed, int) else None)
+    return [np.random.default_rng(s) for s in root.spawn(n)]

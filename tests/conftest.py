@@ -1,0 +1,52 @@
+"""Shared fixtures: small point sets and pre-built compression pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.inspector import Inspector
+from repro.kernels.gaussian import GaussianKernel
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def points_2d():
+    """600 uniform points in the unit square (kd-tree path)."""
+    return np.random.default_rng(7).random((600, 2))
+
+
+@pytest.fixture(scope="session")
+def points_hd():
+    """400 clustered 12-dimensional points (two-means path)."""
+    g = np.random.default_rng(8)
+    centers = g.normal(scale=2.0, size=(5, 12))
+    labels = g.integers(0, 5, size=400)
+    return centers[labels] + 0.3 * g.normal(size=(400, 12))
+
+
+@pytest.fixture(scope="session")
+def gaussian_kernel():
+    return GaussianKernel(bandwidth=0.5)
+
+
+@pytest.fixture(scope="session")
+def inspector_small():
+    """Inspector configured for test-scale problems."""
+    return Inspector(structure="h2-geometric", tau=0.65, leaf_size=32,
+                     bacc=1e-6, p=4, seed=0)
+
+
+@pytest.fixture(scope="session")
+def hmatrix_2d(points_2d, gaussian_kernel, inspector_small):
+    """A fully-inspected HMatrix on the 2-D point set (shared, read-only)."""
+    return inspector_small.run(points_2d, gaussian_kernel)
+
+
+@pytest.fixture(scope="session")
+def p1_2d(points_2d, inspector_small):
+    return inspector_small.run_p1(points_2d)

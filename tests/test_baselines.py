@@ -1,0 +1,168 @@
+"""Tests for the baseline systems: functional equivalence and the simulated
+performance orderings the paper's figures rely on."""
+
+import numpy as np
+import pytest
+
+from repro import inspector
+from repro.baselines import (
+    DenseGEMM,
+    GOFMMBaseline,
+    MatRoxSystem,
+    SMASHBaseline,
+    STRUMPACKBaseline,
+)
+from repro.baselines.matrox import LADDER
+from repro.core.evaluation import evaluate_reference
+from repro.kernels import GaussianKernel, InverseDistanceKernel
+from repro.runtime import HASWELL
+
+
+@pytest.fixture(scope="module")
+def H_h2(points_2d):
+    return inspector(points_2d, kernel=GaussianKernel(0.5),
+                     structure="h2-geometric", tau=0.65, leaf_size=32,
+                     bacc=1e-6, seed=0, p=4)
+
+
+@pytest.fixture(scope="module")
+def H_hss(points_2d):
+    return inspector(points_2d, kernel=GaussianKernel(0.5), structure="hss",
+                     leaf_size=32, bacc=1e-6, seed=0, p=4)
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return HASWELL.scaled_caches(600 / 100_000)
+
+
+class TestFunctionalEquivalence:
+    """All systems compute the same product from the same factors."""
+
+    def test_gofmm_matches_reference(self, H_h2):
+        rng = np.random.default_rng(0)
+        W = rng.random((H_h2.dim, 3))
+        ref = evaluate_reference(H_h2.factors, W)
+        out = GOFMMBaseline().evaluate(H_h2.factors, W)
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
+    def test_strumpack_matches_reference_on_hss(self, H_hss):
+        rng = np.random.default_rng(1)
+        W = rng.random((H_hss.dim, 2))
+        ref = evaluate_reference(H_hss.factors, W)
+        out = STRUMPACKBaseline().evaluate(H_hss.factors, W)
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
+    def test_strumpack_rejects_non_hss(self, H_h2):
+        with pytest.raises(ValueError, match="HSS"):
+            STRUMPACKBaseline().evaluate(H_h2.factors, np.zeros((H_h2.dim, 1)))
+
+    def test_smash_matvec_matches(self, points_2d):
+        H = inspector(points_2d, kernel=InverseDistanceKernel(),
+                      structure="h2-geometric", tau=0.65, leaf_size=32,
+                      bacc=1e-6, seed=0, p=4)
+        rng = np.random.default_rng(2)
+        w = rng.random(H.dim)
+        ref = evaluate_reference(H.factors, w)
+        out = SMASHBaseline().evaluate(H.factors, w)
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
+    def test_smash_rejects_matmul(self, H_h2):
+        with pytest.raises(ValueError, match="Q=1"):
+            SMASHBaseline().evaluate(H_h2.factors, np.zeros((H_h2.dim, 4)))
+
+    def test_gemm_is_exact(self, points_2d, H_h2):
+        k = GaussianKernel(0.5)
+        rng = np.random.default_rng(3)
+        W = rng.random((H_h2.dim, 2))
+        out = DenseGEMM(k).evaluate(H_h2.factors, W)
+        K = k.block(H_h2.tree.ordered_points, H_h2.tree.ordered_points)
+        np.testing.assert_allclose(out, K @ W, atol=1e-10)
+
+    def test_matrox_system_matches(self, H_h2):
+        rng = np.random.default_rng(4)
+        W = rng.random((H_h2.dim, 2))
+        ref = evaluate_reference(H_h2.factors, W)
+        out = MatRoxSystem(H_h2).evaluate(H_h2.factors, W)
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
+
+class TestCapabilityTable:
+    """Section 4.1's restrictions reproduced."""
+
+    def test_gofmm_supports_everything(self):
+        assert GOFMMBaseline().supports(100_000, 780, 2048, "h2-budget")
+
+    def test_strumpack_hss_only(self):
+        s = STRUMPACKBaseline()
+        assert s.supports(20_000, 16, 2048, "hss")
+        assert not s.supports(20_000, 16, 2048, "h2-geometric")
+
+    def test_strumpack_small_datasets_only(self):
+        s = STRUMPACKBaseline()
+        assert s.supports(32_000, 2, 2048, "hss")      # unit
+        assert not s.supports(100_000, 28, 2048, "hss")  # higgs
+
+    def test_smash_low_dim_matvec_only(self):
+        s = SMASHBaseline()
+        assert s.supports(80_000, 3, 1, "h2-geometric")
+        assert not s.supports(80_000, 4, 1, "h2-geometric")
+        assert not s.supports(80_000, 2, 2048, "h2-geometric")
+
+
+class TestSimulatedOrderings:
+    """The relative orderings the paper's Figures 5 and 7 report."""
+
+    def test_matrox_beats_gofmm(self, H_hss, machine):
+        q = 512
+        t_m = MatRoxSystem(H_hss).simulate(H_hss.factors, q, machine).time_s
+        t_g = GOFMMBaseline().simulate(H_hss.factors, q, machine).time_s
+        assert t_g > t_m
+
+    def test_matrox_beats_strumpack(self, H_hss, machine):
+        q = 512
+        t_m = MatRoxSystem(H_hss).simulate(H_hss.factors, q, machine).time_s
+        t_s = STRUMPACKBaseline().simulate(H_hss.factors, q, machine).time_s
+        assert t_s > t_m
+
+    def test_ladder_monotone_improvement(self, H_h2, machine):
+        runs = MatRoxSystem(H_h2).simulate_ladder(512, machine)
+        times = [runs[r].time_s for r in LADDER]
+        # Each rung must not regress by more than noise (5%).
+        for a, b in zip(times, times[1:]):
+            assert b <= a * 1.05
+
+    def test_hmatrix_beats_gemm_for_large_q(self, machine):
+        """The 18x-vs-GEMM claim at Q=2K. N must be large enough that the
+        O(N) compressed flops beat the O(N^2) dense flops despite the dense
+        GEMM's higher hardware efficiency."""
+        pts = np.random.default_rng(9).random((2500, 2))
+        H = inspector(pts, kernel=GaussianKernel(0.5), structure="hss",
+                      leaf_size=32, bacc=1e-4, seed=0, p=12)
+        q = 2048
+        t_m = MatRoxSystem(H).simulate(H.factors, q, machine).time_s
+        t_d = DenseGEMM().simulate(H.factors, q, machine).time_s
+        assert t_d > t_m
+
+    def test_matrox_scales_with_cores(self, H_hss, machine):
+        mx = MatRoxSystem(H_hss)
+        t1 = mx.simulate(H_hss.factors, 512, machine, p=1).time_s
+        t8 = mx.simulate(H_hss.factors, 512, machine, p=8).time_s
+        assert t1 / t8 > 3
+
+    def test_gofmm_scales_worse_than_matrox(self, H_hss, machine):
+        mx, go = MatRoxSystem(H_hss), GOFMMBaseline()
+        s_m = (mx.simulate(H_hss.factors, 512, machine, p=1).time_s
+               / mx.simulate(H_hss.factors, 512, machine, p=12).time_s)
+        s_g = (go.simulate(H_hss.factors, 512, machine, p=1).time_s
+               / go.simulate(H_hss.factors, 512, machine, p=12).time_s)
+        assert s_m > s_g
+
+    def test_locality_cds_lower_than_tb(self, H_hss, machine):
+        loc_m = MatRoxSystem(H_hss).locality(machine)
+        loc_g = GOFMMBaseline().locality(H_hss.factors, machine)
+        assert loc_m < loc_g
+
+    def test_invalid_ladder_rung(self, H_h2, machine):
+        with pytest.raises(ValueError, match="rung"):
+            MatRoxSystem(H_h2).simulate(H_h2.factors, 8, machine, rung="+magic")

@@ -1,0 +1,169 @@
+"""Unit tests for the cache/TLB simulator and AMAL computation."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import HASWELL, KNL, CacheHierarchy, simulate_trace
+from repro.runtime.cache import CacheLevel, TLB
+from repro.runtime.latency import (
+    average_memory_access_latency,
+    ideal_latency,
+    locality_factor,
+)
+from repro.runtime.machine import CacheSpec, MachineModel
+
+
+def tiny_machine(l1_lines: int = 8, ways: int = 2) -> MachineModel:
+    from dataclasses import replace
+
+    return replace(
+        HASWELL,
+        caches=(
+            CacheSpec("L1", l1_lines * 64, ways, 64, hit_cycles=4.0),
+            CacheSpec("L2", 4 * l1_lines * 64, ways, 64, hit_cycles=12.0),
+        ),
+        tlb_entries=4,
+    )
+
+
+class TestCacheLevel:
+    def test_repeated_access_hits(self):
+        lvl = CacheLevel(CacheSpec("L1", 64 * 64, 8))
+        lvl.access(5)
+        assert lvl.access(5)
+        assert lvl.hits == 1 and lvl.misses == 1
+
+    def test_lru_eviction(self):
+        # 1 set x 2 ways: third distinct line evicts the least recent.
+        lvl = CacheLevel(CacheSpec("L1", 2 * 64, 2))
+        lvl.access(0)
+        lvl.access(1)
+        lvl.access(0)   # 0 now most recent
+        lvl.access(2)   # evicts 1
+        assert lvl.access(0)
+        assert not lvl.access(1)
+
+    def test_set_mapping(self):
+        # 2 sets: even lines -> set 0, odd -> set 1 (no interference).
+        lvl = CacheLevel(CacheSpec("L1", 4 * 64, 2))
+        assert lvl.num_sets == 2
+        for a in (0, 2, 1, 3):
+            lvl.access(a)
+        assert lvl.access(0) and lvl.access(1)
+
+    def test_insert_does_not_count(self):
+        lvl = CacheLevel(CacheSpec("L1", 8 * 64, 8))
+        lvl.insert(7)
+        assert lvl.accesses == 0
+        assert lvl.access(7)  # prefetched line hits
+
+
+class TestTLB:
+    def test_same_page_hits(self):
+        tlb = TLB(entries=4, page_bytes=4096)
+        tlb.access(0)
+        assert tlb.access(4095)
+        assert not tlb.access(4096)
+
+    def test_capacity_eviction(self):
+        tlb = TLB(entries=2, page_bytes=4096)
+        for page in (0, 1, 2):
+            tlb.access(page * 4096)
+        assert not tlb.access(0)  # evicted
+
+
+class TestHierarchy:
+    def test_sequential_stream_mostly_hits_with_prefetch(self):
+        m = tiny_machine()
+        h = CacheHierarchy(m, prefetch=True)
+        c = h.run(np.arange(1000))
+        assert c.miss_ratio("L1") < 0.05
+
+    def test_no_prefetch_stream_all_misses(self):
+        m = tiny_machine()
+        h = CacheHierarchy(m, prefetch=False)
+        c = h.run(np.arange(1000))
+        assert c.miss_ratio("L1") == 1.0
+
+    def test_prefetch_stops_at_page_boundary(self):
+        m = tiny_machine()
+        h = CacheHierarchy(m, prefetch=True)
+        # Lines 63 -> 64 cross the 4KB page (64 lines/page).
+        h.access_line(63)
+        l1 = h.levels[0]
+        before = l1.misses
+        h.access_line(64)
+        assert l1.misses == before + 1  # not prefetched
+
+    def test_random_trace_worse_than_sequential(self):
+        m = tiny_machine()
+        rng = np.random.default_rng(0)
+        seq = np.arange(4000)
+        rand = rng.integers(0, 100_000, size=4000)
+        c_seq = simulate_trace(seq, m)
+        c_rand = simulate_trace(rand, m)
+        assert c_rand.miss_ratio("L1") > c_seq.miss_ratio("L1")
+        assert locality_factor(c_rand, m) > locality_factor(c_seq, m)
+
+    def test_counters_consistent(self):
+        m = tiny_machine()
+        c = simulate_trace(np.arange(500), m)
+        assert c.accesses == 500
+        assert c.level_hits["L1"] + c.level_misses["L1"] == 500
+
+
+class TestAMAL:
+    def test_all_hit_gives_ideal(self):
+        m = tiny_machine()
+        h = CacheHierarchy(m)
+        # Long run so the single cold miss amortises away.
+        h.run(np.zeros(10_000, dtype=np.int64))
+        c = h.counters()
+        amal = average_memory_access_latency(c, m)
+        assert amal == pytest.approx(ideal_latency(m), rel=0.05)
+
+    def test_empty_counters(self):
+        m = tiny_machine()
+        c = CacheHierarchy(m).counters()
+        assert average_memory_access_latency(c, m) == m.caches[0].hit_cycles
+
+    def test_locality_factor_at_least_one(self):
+        m = tiny_machine()
+        c = simulate_trace(np.arange(2000), m)
+        assert locality_factor(c, m) >= 1.0
+
+    def test_worse_misses_higher_amal(self):
+        m = tiny_machine()
+        rng = np.random.default_rng(1)
+        good = simulate_trace(np.arange(3000), m)
+        bad = simulate_trace(rng.integers(0, 10**6, 3000), m)
+        assert average_memory_access_latency(bad, m) > (
+            average_memory_access_latency(good, m)
+        )
+
+
+class TestMachineModels:
+    def test_peak_flops(self):
+        assert HASWELL.peak_gflops == pytest.approx(12 * 2.5 * 16)
+        assert KNL.peak_gflops == pytest.approx(68 * 1.4 * 32)
+
+    def test_flop_seconds_scales_with_cores(self):
+        t1 = HASWELL.flop_seconds(1e9, cores=1)
+        t12 = HASWELL.flop_seconds(1e9, cores=12)
+        assert t1 == pytest.approx(12 * t12)
+
+    def test_mem_seconds_bandwidth_saturation(self):
+        t1 = HASWELL.mem_seconds(1e9, active_cores=1)
+        t12 = HASWELL.mem_seconds(1e9, active_cores=12)
+        assert t12 > t1  # per-core share shrinks when 12 cores compete
+
+    def test_barrier_grows_with_cores(self):
+        assert KNL.barrier_seconds(68) > KNL.barrier_seconds(2)
+
+    def test_scaled_caches(self):
+        m = HASWELL.scaled_caches(0.01)
+        assert m.caches[0].size_bytes < HASWELL.caches[0].size_bytes
+        assert m.caches[0].size_bytes >= m.caches[0].line_bytes * m.caches[0].ways
+        assert m.num_cores == HASWELL.num_cores  # untouched
+        with pytest.raises(ValueError):
+            HASWELL.scaled_caches(0.0)

@@ -1,0 +1,105 @@
+"""End-to-end tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def points_file(tmp_path, rng):
+    path = tmp_path / "pts.npy"
+    np.save(path, np.random.default_rng(3).random((400, 2)))
+    return path
+
+
+class TestInspectCommand:
+    def test_inspect_points_file(self, points_file, tmp_path, capsys):
+        out = tmp_path / "h.npz"
+        rc = main(["inspect", str(points_file), "-o", str(out),
+                   "--leaf-size", "32", "--bandwidth", "0.5"])
+        assert rc == 0
+        assert out.exists()
+        assert "inspected N=400" in capsys.readouterr().out
+
+    def test_inspect_named_dataset(self, tmp_path, capsys):
+        out = tmp_path / "h.npz"
+        rc = main(["inspect", "unit", "-n", "500", "-o", str(out),
+                   "--structure", "hss", "--leaf-size", "32"])
+        assert rc == 0
+        assert "hss" in capsys.readouterr().out
+
+    def test_inspect_save_and_reuse_p1(self, points_file, tmp_path, capsys):
+        h1 = tmp_path / "h1.npz"
+        p1 = tmp_path / "p1.npz"
+        rc = main(["inspect", str(points_file), "-o", str(h1),
+                   "--save-p1", str(p1), "--leaf-size", "32",
+                   "--bandwidth", "0.5"])
+        assert rc == 0 and p1.exists()
+        h2 = tmp_path / "h2.npz"
+        rc = main(["inspect", str(points_file), "-o", str(h2),
+                   "--reuse-p1", str(p1), "--leaf-size", "32",
+                   "--bacc", "1e-3", "--bandwidth", "0.5"])
+        assert rc == 0
+        assert "reusing phase-1" in capsys.readouterr().out
+
+
+class TestEvaluateCommand:
+    def test_evaluate_random_w(self, points_file, tmp_path, capsys):
+        h = tmp_path / "h.npz"
+        main(["inspect", str(points_file), "-o", str(h),
+              "--leaf-size", "32", "--bandwidth", "0.5"])
+        rc = main(["evaluate", str(h), "-q", "4"])
+        assert rc == 0
+        assert "GF/s" in capsys.readouterr().out
+
+    def test_evaluate_matches_library_call(self, points_file, tmp_path):
+        from repro.core.io import load_hmatrix
+
+        h = tmp_path / "h.npz"
+        w_path = tmp_path / "w.npy"
+        y_path = tmp_path / "y.npy"
+        main(["inspect", str(points_file), "-o", str(h),
+              "--leaf-size", "32", "--bandwidth", "0.5"])
+        W = np.random.default_rng(1).random((400, 3))
+        np.save(w_path, W)
+        rc = main(["evaluate", str(h), "--w", str(w_path),
+                   "-o", str(y_path)])
+        assert rc == 0
+        H = load_hmatrix(h)
+        np.testing.assert_allclose(np.load(y_path), H.matmul(W), atol=1e-12)
+
+
+class TestInfoCommand:
+    def test_info(self, points_file, tmp_path, capsys):
+        h = tmp_path / "h.npz"
+        main(["inspect", str(points_file), "-o", str(h),
+              "--leaf-size", "32", "--bandwidth", "0.5"])
+        rc = main(["info", str(h)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mean_srank" in out and "N" in out
+
+    def test_info_with_source(self, points_file, tmp_path, capsys):
+        h = tmp_path / "h.npz"
+        main(["inspect", str(points_file), "-o", str(h),
+              "--leaf-size", "32", "--bandwidth", "0.5"])
+        rc = main(["info", str(h), "--source"])
+        assert rc == 0
+        assert "def hmatmul" in capsys.readouterr().out
+
+
+class TestDatasetsCommand:
+    def test_list(self, capsys):
+        rc = main(["datasets"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "covtype" in out and "sunflower" in out
+
+    def test_emit(self, tmp_path, capsys):
+        out = tmp_path / "grid.npy"
+        rc = main(["datasets", "--emit", "grid", "-n", "200",
+                   "-o", str(out)])
+        assert rc == 0
+        pts = np.load(out)
+        assert pts.shape == (200, 2)

@@ -1,0 +1,140 @@
+"""Unit tests for the Table 1 dataset registry and generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    dataset_names,
+    dino_points,
+    grid_points,
+    load_dataset,
+    random_points,
+    sunflower_points,
+    table1_rows,
+    unit_sphere_points,
+    clustered_gaussian_points,
+    manifold_points,
+)
+
+# The paper's Table 1, transcribed.
+TABLE1 = {
+    "covtype": (100_000, 54), "higgs": (100_000, 28), "mnist": (60_000, 780),
+    "susy": (100_000, 18), "letter": (20_000, 16), "pen": (11_000, 16),
+    "hepmass": (100_000, 28), "gas": (14_000, 129), "grid": (102_000, 2),
+    "random": (66_000, 2), "dino": (80_000, 3), "sunflower": (80_000, 2),
+    "unit": (32_000, 2),
+}
+
+
+class TestRegistry:
+    def test_all_thirteen_datasets_present(self):
+        assert len(DATASETS) == 13
+        assert set(DATASETS) == set(TABLE1)
+
+    @pytest.mark.parametrize("name", sorted(TABLE1))
+    def test_paper_n_and_d(self, name):
+        n, d = TABLE1[name]
+        spec = DATASETS[name]
+        assert spec.paper_n == n
+        assert spec.dim == d
+
+    @pytest.mark.parametrize("name", sorted(TABLE1))
+    def test_generated_shape(self, name):
+        pts = load_dataset(name, n=500, seed=0)
+        assert pts.shape == (500, TABLE1[name][1])
+        assert np.isfinite(pts).all()
+
+    def test_problem_ids_ordered(self):
+        rows = table1_rows()
+        assert [r["id"] for r in rows] == list(range(1, 14))
+
+    def test_kind_split(self):
+        assert dataset_names("ml") == [
+            "covtype", "higgs", "mnist", "susy", "letter", "pen",
+            "hepmass", "gas",
+        ]
+        assert dataset_names("scientific") == [
+            "grid", "random", "dino", "sunflower", "unit",
+        ]
+
+    def test_deterministic_given_seed(self):
+        a = load_dataset("susy", n=200, seed=3)
+        b = load_dataset("susy", n=200, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_output(self):
+        a = load_dataset("susy", n=200, seed=3)
+        b = load_dataset("susy", n=200, seed=4)
+        assert not np.array_equal(a, b)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("not-a-dataset")
+
+
+class TestGeometricGenerators:
+    def test_grid_is_regular(self):
+        pts = grid_points(100, 2)
+        assert pts.shape == (100, 2)
+        # Lattice: first coordinate takes few distinct values.
+        assert len(np.unique(pts[:, 0])) <= 10 + 1
+
+    def test_grid_in_unit_cube(self):
+        pts = grid_points(321, 3)
+        assert (pts >= 0).all() and (pts <= 1).all()
+
+    def test_grid_rejects_high_dim(self):
+        with pytest.raises(ValueError):
+            grid_points(100, 4)
+
+    def test_random_in_unit_cube(self):
+        pts = random_points(500, 2, seed=0)
+        assert (pts >= 0).all() and (pts < 1).all()
+
+    def test_dino_is_3d_curve(self):
+        pts = dino_points(400, seed=0)
+        assert pts.shape == (400, 3)
+        # A thickened 1-D curve: points stay near the trefoil radius range.
+        r = np.linalg.norm(pts[:, :2], axis=1)
+        assert r.max() < 3.5
+
+    def test_sunflower_radius_bounded(self):
+        pts = sunflower_points(300)
+        r = np.linalg.norm(pts, axis=1)
+        assert r.max() <= 1.0 + 1e-9
+        # Quasi-uniform: no two consecutive points coincide.
+        assert np.min(np.linalg.norm(np.diff(pts, axis=0), axis=1)) > 0
+
+    def test_unit_sphere_points_on_sphere(self):
+        pts = unit_sphere_points(200, d=3, seed=1)
+        np.testing.assert_allclose(np.linalg.norm(pts, axis=1), 1.0, atol=1e-12)
+
+
+class TestSyntheticGenerators:
+    def test_clustered_shape_and_finite(self):
+        pts = clustered_gaussian_points(300, 20, n_clusters=4, seed=0)
+        assert pts.shape == (300, 20)
+        assert np.isfinite(pts).all()
+
+    def test_clustered_has_cluster_structure(self):
+        # Between-cluster spread should dominate within-cluster spread.
+        pts = clustered_gaussian_points(600, 10, n_clusters=3,
+                                        intrinsic_dim=3, spread=0.05, seed=1)
+        total_var = pts.var(axis=0).sum()
+        assert total_var > 0.01  # centers spread out, not collapsed
+
+    def test_manifold_bounded_and_curved(self):
+        pts = manifold_points(500, 50, intrinsic_dim=2, seed=0)
+        assert pts.shape == (500, 50)
+        # Sinusoidal features stay in [-1-eps, 1+eps].
+        assert np.abs(pts).max() < 1.2
+        # A 2-D sheet (even curved) has decaying spectrum in the tail.
+        s = np.linalg.svd(pts - pts.mean(0), compute_uv=False)
+        assert s[-1] < 0.5 * s[0]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            clustered_gaussian_points(0, 5)
+        with pytest.raises(ValueError):
+            manifold_points(10, 5, intrinsic_dim=9)

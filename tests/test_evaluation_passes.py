@@ -1,0 +1,161 @@
+"""Fine-grained unit tests for the four evaluation passes (Fig. 1d semantics).
+
+These validate each pass against independent linear-algebra identities, so a
+regression in one loop is localised instead of only failing the end-to-end
+accuracy test.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression import compress
+from repro.core.evaluation import (
+    coupling_pass,
+    downward_pass,
+    near_pass,
+    upward_pass,
+)
+from repro.kernels import GaussianKernel
+
+
+@pytest.fixture(scope="module")
+def setup(points_2d):
+    kernel = GaussianKernel(0.5)
+    res = compress(points_2d, kernel, structure="h2-geometric", tau=0.65,
+                   bacc=1e-7, leaf_size=32, seed=0)
+    rng = np.random.default_rng(0)
+    W = rng.random((len(points_2d), 3))
+    return res, kernel, W
+
+
+def expand_basis(factors, v):
+    """Explicit |I_v| x r_v basis via the nested transfer chain."""
+    tree = factors.tree
+    if tree.is_leaf(v):
+        return factors.leaf_basis[v]
+    lc, rc = int(tree.lchild[v]), int(tree.rchild[v])
+    E = factors.transfer[v]
+    rl = factors.srank(lc)
+    return np.vstack([
+        expand_basis(factors, lc) @ E[:rl],
+        expand_basis(factors, rc) @ E[rl:],
+    ])
+
+
+class TestUpwardPass:
+    def test_leaf_weights_explicit(self, setup):
+        res, _k, W = setup
+        T = upward_pass(res.factors, W)
+        tree = res.tree
+        for v in tree.leaves[:8]:
+            v = int(v)
+            if res.factors.srank(v) == 0:
+                continue
+            V = res.factors.leaf_basis[v]
+            np.testing.assert_allclose(
+                T[v], V.T @ W[tree.start[v]:tree.stop[v]], atol=1e-12)
+
+    def test_interior_weights_equal_expanded_basis(self, setup):
+        """T_v == (expanded U_v)^T W_v — the nested-basis identity."""
+        res, _k, W = setup
+        T = upward_pass(res.factors, W)
+        tree = res.tree
+        interior = [v for v in range(tree.num_nodes)
+                    if not tree.is_leaf(v) and res.factors.srank(v) > 0]
+        for v in interior[:6]:
+            U = expand_basis(res.factors, v)
+            np.testing.assert_allclose(
+                T[v], U.T @ W[tree.start[v]:tree.stop[v]], atol=1e-10)
+
+    def test_shapes(self, setup):
+        res, _k, W = setup
+        T = upward_pass(res.factors, W)
+        for v, t in T.items():
+            assert t.shape == (res.factors.srank(v), W.shape[1])
+
+
+class TestCouplingPass:
+    def test_accumulates_all_far_partners(self, setup):
+        res, _k, W = setup
+        T = upward_pass(res.factors, W)
+        S = coupling_pass(res.factors, T, W.shape[1])
+        for i in list(S)[:6]:
+            expect = sum(
+                res.factors.coupling[(i, j)] @ T[j]
+                for j in res.factors.htree.far.get(i, [])
+            )
+            np.testing.assert_allclose(S[i], expect, atol=1e-12)
+
+    def test_only_far_targets_have_s(self, setup):
+        res, _k, W = setup
+        T = upward_pass(res.factors, W)
+        S = coupling_pass(res.factors, T, W.shape[1])
+        assert set(S) == {i for (i, _j) in res.factors.coupling}
+
+
+class TestDownwardPass:
+    def test_far_field_contribution_matches_dense(self, setup):
+        """near_pass off: Y must equal the assembled far-field sum."""
+        res, _k, W = setup
+        tree = res.tree
+        T = upward_pass(res.factors, W)
+        S = coupling_pass(res.factors, T, W.shape[1])
+        Y = np.zeros_like(W)
+        downward_pass(res.factors, S, Y)
+
+        expect = np.zeros_like(W)
+        for (i, j), B in res.factors.coupling.items():
+            Ui = expand_basis(res.factors, i)
+            Uj = expand_basis(res.factors, j)
+            expect[tree.start[i]:tree.stop[i]] += (
+                Ui @ B @ (Uj.T @ W[tree.start[j]:tree.stop[j]]))
+        np.testing.assert_allclose(Y, expect, atol=1e-9)
+
+
+class TestNearPass:
+    def test_matches_dense_near_field(self, setup):
+        res, kernel, W = setup
+        tree = res.tree
+        Y = np.zeros_like(W)
+        near_pass(res.factors, W, Y)
+        expect = np.zeros_like(W)
+        for (i, j) in res.factors.htree.near_pairs():
+            Kij = kernel.block(tree.node_points(i), tree.node_points(j))
+            expect[tree.start[i]:tree.stop[i]] += (
+                Kij @ W[tree.start[j]:tree.stop[j]])
+        np.testing.assert_allclose(Y, expect, atol=1e-10)
+
+    def test_near_pass_is_exact_not_approximated(self, setup):
+        res, kernel, _W = setup
+        tree = res.tree
+        (i, j) = next(iter(res.factors.near_blocks))
+        np.testing.assert_array_equal(
+            res.factors.near_blocks[(i, j)],
+            kernel.block(tree.node_points(i), tree.node_points(j)))
+
+
+class TestLinearity:
+    def test_evaluation_is_linear(self, setup):
+        from repro.core.evaluation import evaluate_reference
+
+        res, _k, W = setup
+        rng = np.random.default_rng(1)
+        W2 = rng.random(W.shape)
+        a, b = 2.5, -1.25
+        lhs = evaluate_reference(res.factors, a * W + b * W2)
+        rhs = (a * evaluate_reference(res.factors, W)
+               + b * evaluate_reference(res.factors, W2))
+        np.testing.assert_allclose(lhs, rhs, atol=1e-9)
+
+    def test_symmetric_kernel_gives_symmetric_operator(self, setup):
+        """<e_i, K~ e_j> == <e_j, K~ e_i> for the symmetric Gaussian."""
+        from repro.core.evaluation import evaluate_reference
+
+        res, _k, _W = setup
+        n = res.tree.num_points
+        rng = np.random.default_rng(2)
+        x = rng.random((n, 1))
+        y = rng.random((n, 1))
+        lhs = float((y.T @ evaluate_reference(res.factors, x))[0, 0])
+        rhs = float((x.T @ evaluate_reference(res.factors, y))[0, 0])
+        assert lhs == pytest.approx(rhs, rel=1e-6)

@@ -1,0 +1,139 @@
+"""Failure-injection tests: malformed inputs must fail fast and clearly.
+
+A downstream adopter's first contact with the library is often a wrong
+shape or a bad parameter; every public entry point should reject those with
+an actionable ValueError instead of a deep NumPy broadcast error.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Inspector, get_kernel, inspector, load_hmatrix
+from repro.compression import interpolative_decomposition
+from repro.core.evaluation import evaluate_reference
+from repro.sampling import build_sampling_plan
+from repro.tree import build_cluster_tree
+from repro.tree.cluster_tree import ClusterTree
+
+
+class TestPointValidation:
+    def test_empty_points(self):
+        with pytest.raises(ValueError):
+            inspector(np.zeros((0, 2)), kernel="gaussian")
+
+    def test_nan_points(self):
+        pts = np.random.default_rng(0).random((50, 2))
+        pts[7, 1] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            inspector(pts, kernel="gaussian")
+
+    def test_inf_points(self):
+        pts = np.random.default_rng(0).random((50, 2))
+        pts[3, 0] = np.inf
+        with pytest.raises(ValueError, match="finite"):
+            build_cluster_tree(pts)
+
+    def test_3d_array_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            build_cluster_tree(np.zeros((4, 4, 4)))
+
+    def test_1d_points_promoted(self):
+        """1-D input is a valid d=1 point set, not an error."""
+        tree = build_cluster_tree(np.linspace(0, 1, 40), leaf_size=8)
+        assert tree.dim == 1
+
+
+class TestParameterValidation:
+    def test_bad_bacc(self, points_2d):
+        insp = Inspector(bacc=-1e-5, leaf_size=32)
+        with pytest.raises(ValueError):
+            insp.run(points_2d, get_kernel("gaussian"))
+
+    def test_bad_structure(self, points_2d):
+        with pytest.raises(ValueError, match="unknown structure"):
+            inspector(points_2d, kernel="gaussian", structure="h5")
+
+    def test_bad_kernel_name(self, points_2d):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            inspector(points_2d, kernel="rbf-typo")
+
+    def test_bad_sampling_k(self, points_2d):
+        tree = build_cluster_tree(points_2d, leaf_size=32)
+        # k is clamped to N-1 internally; only a degenerate tree fails.
+        plan = build_sampling_plan(tree, k=10**9, seed=0)
+        assert plan.k == len(points_2d) - 1
+
+    def test_id_on_garbage(self):
+        with pytest.raises(ValueError):
+            interpolative_decomposition(np.array([1.0, 2.0]))  # 1-D
+
+
+class TestEvaluationInputs:
+    def test_wrong_w_rows(self, hmatrix_2d):
+        with pytest.raises(ValueError, match="rows"):
+            hmatrix_2d.matmul(np.zeros((hmatrix_2d.dim + 1, 2)))
+
+    def test_reference_wrong_rows(self, hmatrix_2d):
+        with pytest.raises(ValueError, match="rows"):
+            evaluate_reference(hmatrix_2d.factors,
+                               np.zeros((3, 2)))
+
+    def test_w_dtype_coerced_not_crash(self, hmatrix_2d):
+        W = np.ones((hmatrix_2d.dim, 2), dtype=np.float32)
+        Y = hmatrix_2d.matmul(W)
+        assert Y.dtype == np.float64
+
+    def test_w_fortran_order_ok(self, hmatrix_2d):
+        W = np.asfortranarray(
+            np.random.default_rng(0).random((hmatrix_2d.dim, 3)))
+        Y = hmatrix_2d.matmul(W)
+        assert np.isfinite(Y).all()
+
+
+class TestCorruptArtifacts:
+    def test_load_nonexistent_file(self, tmp_path):
+        with pytest.raises((FileNotFoundError, OSError)):
+            load_hmatrix(tmp_path / "missing.npz")
+
+    def test_load_wrong_file(self, tmp_path):
+        path = tmp_path / "notanhmatrix.npz"
+        np.savez(path, junk=np.zeros(3))
+        with pytest.raises(KeyError):
+            load_hmatrix(path)
+
+    def test_version_check(self, hmatrix_2d, tmp_path):
+        from repro.core import io as hio
+
+        path = hio.save_hmatrix(hmatrix_2d, tmp_path / "h.npz")
+        old = hio._FORMAT_VERSION
+        try:
+            hio._FORMAT_VERSION = 999
+            with pytest.raises(ValueError, match="version"):
+                hio.load_hmatrix(path)
+        finally:
+            hio._FORMAT_VERSION = old
+
+
+class TestTreeInvariantEnforcement:
+    def test_bad_perm_rejected(self, points_2d):
+        tree = build_cluster_tree(points_2d, leaf_size=32)
+        bad_perm = tree.perm.copy()
+        bad_perm[0] = bad_perm[1]  # not a permutation
+        with pytest.raises(ValueError, match="permutation"):
+            ClusterTree(tree.points, bad_perm, tree.parent, tree.lchild,
+                        tree.rchild, tree.level, tree.start, tree.stop)
+
+    def test_root_range_checked(self, points_2d):
+        tree = build_cluster_tree(points_2d, leaf_size=32)
+        bad_stop = tree.stop.copy()
+        bad_stop[0] = 5
+        with pytest.raises(ValueError, match="root"):
+            ClusterTree(tree.points, tree.perm, tree.parent, tree.lchild,
+                        tree.rchild, tree.level, tree.start, bad_stop)
+
+    def test_array_length_mismatch(self, points_2d):
+        tree = build_cluster_tree(points_2d, leaf_size=32)
+        with pytest.raises(ValueError, match="length"):
+            ClusterTree(tree.points, tree.perm, tree.parent[:-1],
+                        tree.lchild, tree.rchild, tree.level, tree.start,
+                        tree.stop)

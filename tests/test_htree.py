@@ -1,0 +1,160 @@
+"""Unit tests for admissibility conditions and HTree construction."""
+
+import numpy as np
+import pytest
+
+from repro.htree import (
+    BudgetAdmissibility,
+    GeometricAdmissibility,
+    HSSAdmissibility,
+    build_htree,
+    make_admissibility,
+)
+from repro.tree import build_cluster_tree
+
+
+@pytest.fixture(scope="module")
+def tree_2d(points_2d):
+    return build_cluster_tree(points_2d, leaf_size=32)
+
+
+class TestAdmissibilityRules:
+    def test_geometric_far_for_distant_nodes(self, tree_2d):
+        adm = GeometricAdmissibility(tau=1e6)  # everything far
+        leaves = tree_2d.leaves
+        assert adm.is_far(tree_2d, int(leaves[0]), int(leaves[-1]))
+
+    def test_geometric_near_for_tiny_tau(self, tree_2d):
+        adm = GeometricAdmissibility(tau=1e-6)  # nothing far
+        leaves = tree_2d.leaves
+        assert not adm.is_far(tree_2d, int(leaves[0]), int(leaves[-1]))
+
+    def test_geometric_self_never_far(self, tree_2d):
+        adm = GeometricAdmissibility(tau=1e6)
+        assert not adm.is_far(tree_2d, 3, 3)
+
+    def test_geometric_formula(self, tree_2d):
+        adm = GeometricAdmissibility(tau=0.65)
+        a, b = int(tree_2d.leaves[0]), int(tree_2d.leaves[-1])
+        expect = 0.65 * tree_2d.distance(a, b) > (
+            tree_2d.diameter(a) + tree_2d.diameter(b)
+        )
+        assert adm.is_far(tree_2d, a, b) == expect
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            GeometricAdmissibility(tau=0.0)
+
+    def test_hss_all_offdiagonal_far(self, tree_2d):
+        adm = HSSAdmissibility()
+        assert adm.is_far(tree_2d, 1, 2)
+        assert not adm.is_far(tree_2d, 1, 1)
+
+    def test_budget_zero_equals_hss(self, tree_2d):
+        adm = BudgetAdmissibility(budget=0.0)
+        adm.prepare(tree_2d)
+        assert adm.is_far(tree_2d, 1, 2)
+
+    def test_budget_one_keeps_everything_near(self, tree_2d):
+        adm = BudgetAdmissibility(budget=1.0)
+        adm.prepare(tree_2d)
+        # With full budget, same-level neighbours are near.
+        assert not adm.is_far(tree_2d, 1, 2)
+
+    def test_budget_symmetric(self, tree_2d):
+        adm = BudgetAdmissibility(budget=0.1)
+        adm.prepare(tree_2d)
+        nodes = tree_2d.levels()[2]
+        for a in nodes[:4]:
+            for b in nodes[:4]:
+                if a != b:
+                    assert adm.is_far(tree_2d, int(a), int(b)) == adm.is_far(
+                        tree_2d, int(b), int(a)
+                    )
+
+    def test_budget_invalid(self):
+        with pytest.raises(ValueError):
+            BudgetAdmissibility(budget=1.5)
+
+    def test_factory(self):
+        assert make_admissibility("hss").structure_name == "hss"
+        assert make_admissibility("h2", tau=0.5).tau == 0.5
+        assert make_admissibility("h2-b", budget=0.1).budget == 0.1
+        with pytest.raises(ValueError):
+            make_admissibility("h3")
+
+
+class TestHTree:
+    @pytest.mark.parametrize("structure,params", [
+        ("h2-geometric", {"tau": 0.65}),
+        ("hss", {}),
+        ("h2-b", {"budget": 0.03}),
+    ])
+    def test_structural_invariants(self, tree_2d, structure, params):
+        ht = build_htree(tree_2d, structure, **params)
+        ht.validate()
+
+    @pytest.mark.parametrize("structure,params", [
+        ("h2-geometric", {"tau": 0.65}),
+        ("hss", {}),
+        ("h2-b", {"budget": 0.03}),
+    ])
+    def test_interactions_tile_matrix_exactly_once(self, tree_2d, structure, params):
+        """Every (row, col) entry must be covered by exactly one interaction."""
+        ht = build_htree(tree_2d, structure, **params)
+        covered = ht.coverage_matrix()
+        assert (covered == 1).all(), (
+            f"{structure}: min={covered.min()}, max={covered.max()}"
+        )
+
+    def test_hss_near_is_leaf_diagonal_only(self, tree_2d):
+        ht = build_htree(tree_2d, "hss")
+        for i, partners in ht.near.items():
+            assert partners == [i]
+
+    def test_hss_far_are_siblings(self, tree_2d):
+        ht = build_htree(tree_2d, "hss")
+        for i, partners in ht.far.items():
+            for j in partners:
+                assert tree_2d.parent[i] == tree_2d.parent[j]
+
+    def test_geometric_large_tau_reduces_near(self, tree_2d):
+        loose = build_htree(tree_2d, "h2-geometric", tau=10.0)
+        tight = build_htree(tree_2d, "h2-geometric", tau=0.3)
+        assert loose.num_near() < tight.num_near()
+
+    def test_near_lists_include_self(self, tree_2d):
+        ht = build_htree(tree_2d, "h2-geometric", tau=0.65)
+        for leaf in tree_2d.leaves:
+            assert int(leaf) in ht.near[int(leaf)]
+
+    def test_far_found_at_highest_level(self, tree_2d):
+        """If (a, b) is a far pair, their parents must not be admissible
+        (otherwise the interaction would have been recorded higher up)."""
+        adm = GeometricAdmissibility(tau=0.65)
+        ht = build_htree(tree_2d, adm)
+        for i, j in ht.far_pairs():
+            pi, pj = int(tree_2d.parent[i]), int(tree_2d.parent[j])
+            if pi == pj or pi < 0 or pj < 0:
+                continue
+            assert not adm.is_far(tree_2d, pi, pj)
+
+    def test_nodes_with_basis_closed_under_children(self, tree_2d):
+        ht = build_htree(tree_2d, "h2-geometric", tau=0.65)
+        basis = set(ht.nodes_with_basis())
+        for v in basis:
+            if not tree_2d.is_leaf(v):
+                assert int(tree_2d.lchild[v]) in basis
+                assert int(tree_2d.rchild[v]) in basis
+
+    def test_root_never_has_basis(self, tree_2d):
+        for structure in ("hss", "h2-geometric"):
+            ht = build_htree(tree_2d, structure)
+            assert 0 not in ht.nodes_with_basis()
+
+    def test_single_leaf_tree(self):
+        pts = np.random.default_rng(0).random((8, 2))
+        tree = build_cluster_tree(pts, leaf_size=16)
+        ht = build_htree(tree, "hss")
+        assert ht.near_pairs() == [(0, 0)]
+        assert ht.far_pairs() == []

@@ -1,0 +1,151 @@
+"""Cross-product integration matrix: kernels x structures x geometries.
+
+End-to-end inspector+executor runs asserting accuracy against the dense
+product on every supported combination — the compatibility surface a
+downstream adopter relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro import inspector, relative_error
+from repro.datasets import (
+    dino_points,
+    grid_points,
+    sunflower_points,
+    unit_sphere_points,
+)
+from repro.kernels import (
+    GaussianKernel,
+    InverseDistanceKernel,
+    LaplaceKernel,
+    Matern32Kernel,
+    PolynomialKernel,
+)
+
+N = 500
+Q = 3
+
+
+def geometries():
+    rng = np.random.default_rng(11)
+    return {
+        "uniform2d": rng.random((N, 2)),
+        "grid2d": grid_points(N, 2),
+        "curve3d": dino_points(N, seed=1),
+        "sphere": unit_sphere_points(N, 3, seed=2),
+        "sunflower": sunflower_points(N, seed=3),
+        "clustered8d": np.concatenate([
+            rng.normal(loc=c, scale=0.3, size=(N // 4, 8))
+            for c in (0.0, 3.0, -3.0, 6.0)
+        ]),
+    }
+
+
+GEOMS = geometries()
+
+KERNELS = {
+    "gaussian": GaussianKernel(bandwidth=1.0),
+    "laplace": LaplaceKernel(bandwidth=1.0),
+    "matern": Matern32Kernel(bandwidth=1.0),
+    "inverse": InverseDistanceKernel(),
+    "poly": PolynomialKernel(degree=2, offset=1.0),
+}
+
+STRUCTURES = ["hss", "h2-geometric", "h2-b"]
+
+# Accuracy ceiling per kernel: singular/heavy-tailed kernels are harder for
+# sampled ID; the polynomial kernel is globally low-rank (easy).
+TOL = {"gaussian": 5e-4, "laplace": 5e-3, "matern": 5e-3,
+       "inverse": 5e-2, "poly": 1e-6}
+
+
+@pytest.mark.parametrize("geom", sorted(GEOMS))
+@pytest.mark.parametrize("kname", sorted(KERNELS))
+def test_h2_geometric_matrix(geom, kname):
+    pts = GEOMS[geom]
+    kernel = KERNELS[kname]
+    H = inspector(pts, kernel=kernel, structure="h2-geometric", tau=0.65,
+                  bacc=1e-7, leaf_size=32, seed=0)
+    rng = np.random.default_rng(0)
+    W = rng.random((len(pts), Q))
+    exact = kernel.matrix(pts) @ W
+    err = relative_error(H.matmul(W), exact)
+    assert err < TOL[kname], f"{kname}/{geom}: eps={err:.2e}"
+
+
+@pytest.mark.parametrize("structure", STRUCTURES)
+@pytest.mark.parametrize("geom", ["uniform2d", "clustered8d"])
+def test_structures_matrix(structure, geom):
+    pts = GEOMS[geom]
+    kernel = GaussianKernel(bandwidth=1.0 if geom == "uniform2d" else 3.0)
+    H = inspector(pts, kernel=kernel, structure=structure, bacc=1e-7,
+                  leaf_size=32, seed=0)
+    rng = np.random.default_rng(1)
+    W = rng.random((len(pts), Q))
+    exact = kernel.matrix(pts) @ W
+    err = relative_error(H.matmul(W), exact)
+    assert err < 5e-3, f"{structure}/{geom}: eps={err:.2e}"
+
+
+class TestEdgeGeometries:
+    def test_tiny_problem_single_leaf(self):
+        pts = np.random.default_rng(0).random((10, 2))
+        kernel = GaussianKernel(0.5)
+        H = inspector(pts, kernel=kernel, leaf_size=16, seed=0)
+        W = np.random.default_rng(1).random((10, 2))
+        np.testing.assert_allclose(H.matmul(W), kernel.matrix(pts) @ W,
+                                   atol=1e-10)
+
+    def test_duplicate_points(self):
+        rng = np.random.default_rng(2)
+        base = rng.random((100, 2))
+        pts = np.vstack([base, base[:50]])  # 50 exact duplicates
+        kernel = GaussianKernel(0.5)
+        H = inspector(pts, kernel=kernel, leaf_size=16, bacc=1e-7, seed=0)
+        W = rng.random((150, 2))
+        err = relative_error(H.matmul(W), kernel.matrix(pts) @ W)
+        assert err < 1e-3
+
+    def test_collinear_points(self):
+        t = np.linspace(0, 1, 300)
+        pts = np.stack([t, 2 * t], axis=1)  # all on one line
+        kernel = GaussianKernel(0.3)
+        H = inspector(pts, kernel=kernel, leaf_size=32, bacc=1e-7, seed=0)
+        W = np.random.default_rng(3).random((300, 2))
+        err = relative_error(H.matmul(W), kernel.matrix(pts) @ W)
+        assert err < 1e-4
+
+    def test_extreme_scale_points(self):
+        rng = np.random.default_rng(4)
+        pts = rng.random((200, 2)) * 1e6
+        kernel = GaussianKernel(bandwidth=2e5)
+        H = inspector(pts, kernel=kernel, leaf_size=32, bacc=1e-7, seed=0)
+        W = rng.random((200, 2))
+        err = relative_error(H.matmul(W), kernel.matrix(pts) @ W)
+        assert err < 1e-4
+
+    def test_single_column_points(self):
+        rng = np.random.default_rng(5)
+        pts = rng.random((150, 1))
+        kernel = GaussianKernel(0.2)
+        H = inspector(pts, kernel=kernel, leaf_size=16, bacc=1e-8, seed=0)
+        W = rng.random((150, 2))
+        err = relative_error(H.matmul(W), kernel.matrix(pts) @ W)
+        assert err < 1e-5
+
+
+class TestDeterminism:
+    def test_same_seed_same_hmatrix(self, points_2d, gaussian_kernel):
+        H1 = inspector(points_2d, kernel=gaussian_kernel, leaf_size=32,
+                       seed=7)
+        H2 = inspector(points_2d, kernel=gaussian_kernel, leaf_size=32,
+                       seed=7)
+        np.testing.assert_array_equal(H1.cds.basis_buf, H2.cds.basis_buf)
+        np.testing.assert_array_equal(H1.cds.near_buf, H2.cds.near_buf)
+        np.testing.assert_array_equal(H1.cds.far_buf, H2.cds.far_buf)
+
+    def test_repeated_matmul_deterministic(self, hmatrix_2d):
+        W = np.random.default_rng(8).random((hmatrix_2d.dim, 4))
+        np.testing.assert_array_equal(hmatrix_2d.matmul(W),
+                                      hmatrix_2d.matmul(W))

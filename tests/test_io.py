@@ -1,0 +1,97 @@
+"""Round-trip tests for HMatrix and InspectionP1 persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.io import (
+    load_hmatrix,
+    load_inspection_p1,
+    save_hmatrix,
+    save_inspection_p1,
+)
+
+
+class TestHMatrixRoundtrip:
+    def test_product_identical(self, hmatrix_2d, tmp_path):
+        path = save_hmatrix(hmatrix_2d, tmp_path / "hmat.npz")
+        H2 = load_hmatrix(path)
+        rng = np.random.default_rng(0)
+        W = rng.random((hmatrix_2d.dim, 5))
+        np.testing.assert_array_equal(hmatrix_2d.matmul(W), H2.matmul(W))
+
+    def test_buffers_bit_exact(self, hmatrix_2d, tmp_path):
+        path = save_hmatrix(hmatrix_2d, tmp_path / "hmat.npz")
+        H2 = load_hmatrix(path)
+        np.testing.assert_array_equal(H2.cds.basis_buf,
+                                      hmatrix_2d.cds.basis_buf)
+        np.testing.assert_array_equal(H2.cds.near_buf,
+                                      hmatrix_2d.cds.near_buf)
+        np.testing.assert_array_equal(H2.cds.far_buf, hmatrix_2d.cds.far_buf)
+
+    def test_structure_preserved(self, hmatrix_2d, tmp_path):
+        path = save_hmatrix(hmatrix_2d, tmp_path / "hmat.npz")
+        H2 = load_hmatrix(path)
+        assert H2.dim == hmatrix_2d.dim
+        assert H2.factors.htree.structure == hmatrix_2d.factors.htree.structure
+        np.testing.assert_array_equal(H2.sranks, hmatrix_2d.sranks)
+        assert H2.factors.htree.near_pairs() == (
+            hmatrix_2d.factors.htree.near_pairs())
+        assert H2.factors.htree.far_pairs() == (
+            hmatrix_2d.factors.htree.far_pairs())
+
+    def test_lowering_decision_preserved(self, hmatrix_2d, tmp_path):
+        path = save_hmatrix(hmatrix_2d, tmp_path / "hmat.npz")
+        H2 = load_hmatrix(path)
+        d1, d2 = hmatrix_2d.evaluator.decision, H2.evaluator.decision
+        assert (d1.block_near, d1.block_far, d1.coarsen, d1.peel_root) == (
+            d2.block_near, d2.block_far, d2.coarsen, d2.peel_root)
+
+    def test_permutation_preserved(self, hmatrix_2d, tmp_path):
+        path = save_hmatrix(hmatrix_2d, tmp_path / "hmat.npz")
+        H2 = load_hmatrix(path)
+        np.testing.assert_array_equal(H2.tree.perm, hmatrix_2d.tree.perm)
+
+    def test_metadata_scalars_survive(self, hmatrix_2d, tmp_path):
+        path = save_hmatrix(hmatrix_2d, tmp_path / "hmat.npz")
+        H2 = load_hmatrix(path)
+        assert H2.metadata.get("bacc") == hmatrix_2d.metadata.get("bacc")
+
+    def test_no_pickle_in_file(self, hmatrix_2d, tmp_path):
+        """Files must load with allow_pickle=False (safe to share)."""
+        path = save_hmatrix(hmatrix_2d, tmp_path / "hmat.npz")
+        with np.load(path, allow_pickle=False) as data:
+            assert "manifest" in data.files
+
+
+class TestInspectionP1Roundtrip:
+    def test_roundtrip_reusable_for_p2(self, p1_2d, inspector_small,
+                                       gaussian_kernel, tmp_path):
+        path = save_inspection_p1(p1_2d, tmp_path / "p1.npz")
+        p1b = load_inspection_p1(path)
+        H_a = inspector_small.run_p2(p1_2d, gaussian_kernel)
+        H_b = inspector_small.run_p2(p1b, gaussian_kernel)
+        rng = np.random.default_rng(1)
+        W = rng.random((H_a.dim, 3))
+        np.testing.assert_allclose(H_a.matmul(W), H_b.matmul(W), atol=1e-10)
+
+    def test_sampling_plan_identical(self, p1_2d, tmp_path):
+        path = save_inspection_p1(p1_2d, tmp_path / "p1.npz")
+        p1b = load_inspection_p1(path)
+        for v in range(p1_2d.tree.num_nodes):
+            np.testing.assert_array_equal(p1b.plan.for_node(v),
+                                          p1_2d.plan.for_node(v))
+        assert p1b.plan.k == p1_2d.plan.k
+        assert p1b.plan.method == p1_2d.plan.method
+
+    def test_blocksets_identical(self, p1_2d, tmp_path):
+        path = save_inspection_p1(p1_2d, tmp_path / "p1.npz")
+        p1b = load_inspection_p1(path)
+        assert p1b.near_blockset.blocks == p1_2d.near_blockset.blocks
+        assert p1b.far_blockset.blocks == p1_2d.far_blockset.blocks
+
+    def test_htree_identical(self, p1_2d, tmp_path):
+        path = save_inspection_p1(p1_2d, tmp_path / "p1.npz")
+        p1b = load_inspection_p1(path)
+        assert p1b.htree.near == p1_2d.htree.near
+        assert p1b.htree.far == p1_2d.htree.far
+        assert p1b.htree.structure == p1_2d.htree.structure

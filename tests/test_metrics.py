@@ -1,0 +1,96 @@
+"""Tests for flop accounting and the inspector cost model."""
+
+import numpy as np
+import pytest
+
+from repro.compression import compress
+from repro.metrics import (
+    evaluation_flop_breakdown,
+    inspector_cost_model,
+    simulate_inspector_seconds,
+)
+from repro.runtime import HASWELL
+
+
+@pytest.fixture(scope="module")
+def result(points_2d, gaussian_kernel):
+    return compress(points_2d, gaussian_kernel, structure="h2-geometric",
+                    tau=0.65, bacc=1e-5, leaf_size=32, seed=0)
+
+
+class TestFlopBreakdown:
+    def test_total_matches_factors_method(self, result):
+        q = 7
+        bd = evaluation_flop_breakdown(result.factors, q)
+        assert bd["total"] == pytest.approx(
+            result.factors.evaluation_flops(q))
+
+    def test_components_sum_to_total(self, result):
+        bd = evaluation_flop_breakdown(result.factors, 5)
+        assert bd["total"] == pytest.approx(
+            bd["near"] + bd["upward"] + bd["coupling"] + bd["downward"])
+
+    def test_scales_linearly_with_q(self, result):
+        b1 = evaluation_flop_breakdown(result.factors, 1)
+        b8 = evaluation_flop_breakdown(result.factors, 8)
+        assert b8["total"] == pytest.approx(8 * b1["total"])
+
+    def test_upward_equals_downward(self, result):
+        bd = evaluation_flop_breakdown(result.factors, 3)
+        assert bd["upward"] == bd["downward"]
+
+    def test_flops_match_actual_matmul_cost(self, result):
+        """Dimensional sanity: every GEMM in the reference evaluation is
+        counted (verified by computing the count independently)."""
+        q = 2
+        t = result.tree
+        f = result.factors
+        near = sum(2 * t.node_size(i) * t.node_size(j) * q
+                   for (i, j) in f.near_blocks)
+        bd = evaluation_flop_breakdown(f, q)
+        assert bd["near"] == near
+
+
+class TestInspectorCostModel:
+    def test_all_components_positive(self, result):
+        c = inspector_cost_model(result)
+        assert c.sampling_flops > 0
+        assert c.lowrank_flops > 0
+        assert c.kernel_flops > 0
+        assert c.tree_flops > 0
+        assert c.compression_flops == pytest.approx(
+            c.sampling_flops + c.lowrank_flops + c.kernel_flops
+            + c.tree_flops)
+
+    def test_exact_knn_quadratic_in_n(self, points_2d, gaussian_kernel):
+        small = compress(points_2d[:200], gaussian_kernel, leaf_size=32,
+                         seed=0)
+        big = compress(points_2d, gaussian_kernel, leaf_size=32, seed=0)
+        cs, cb = inspector_cost_model(small), inspector_cost_model(big)
+        ratio = cb.sampling_flops / cs.sampling_flops
+        assert ratio > (600 / 200) ** 1.5  # superlinear (quadratic kNN)
+
+    def test_simulated_seconds_structure(self, result):
+        c = inspector_cost_model(result)
+        s = simulate_inspector_seconds(c, HASWELL, p=12)
+        assert set(s) == {"compression", "structure_analysis",
+                          "code_generation"}
+        assert s["compression"] > 0
+        # Paper: SA + codegen are 8.1% of inspection.
+        frac = (s["structure_analysis"] + s["code_generation"]) / (
+            s["compression"] + s["structure_analysis"]
+            + s["code_generation"])
+        assert frac == pytest.approx(0.081 / 1.081, rel=0.02)
+
+    def test_overhead_multiplier(self, result):
+        c = inspector_cost_model(result)
+        base = simulate_inspector_seconds(c, HASWELL, p=12)
+        slow = simulate_inspector_seconds(c, HASWELL, p=12, overhead=2.5)
+        assert slow["compression"] == pytest.approx(
+            2.5 * base["compression"])
+
+    def test_more_cores_faster(self, result):
+        c = inspector_cost_model(result)
+        s1 = simulate_inspector_seconds(c, HASWELL, p=1)
+        s12 = simulate_inspector_seconds(c, HASWELL, p=12)
+        assert s12["compression"] < s1["compression"]

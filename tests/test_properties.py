@@ -1,0 +1,137 @@
+"""System-level property-based tests (hypothesis).
+
+Each property runs the real pipeline on randomized configurations and checks
+an invariant that must hold for *every* valid input — the invariants the
+paper's correctness rests on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import build_blockset, build_coarsenset
+from repro.compression import compress
+from repro.core.evaluation import evaluate_reference
+from repro.htree import build_htree
+from repro.kernels import GaussianKernel
+from repro.tree import build_cluster_tree
+
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def rand_points(seed: int, n: int, d: int) -> np.ndarray:
+    return np.random.default_rng(seed).random((n, d))
+
+
+class TestHTreeProperties:
+    @given(seed=st.integers(0, 50), n=st.integers(40, 250),
+           leaf=st.sampled_from([8, 16, 32]),
+           tau=st.floats(0.3, 3.0))
+    @SLOW
+    def test_geometric_tiling_always_exact(self, seed, n, leaf, tau):
+        """Near+far interactions tile the N x N matrix exactly once, for any
+        point set, leaf size, and admissibility parameter."""
+        pts = rand_points(seed, n, 2)
+        tree = build_cluster_tree(pts, leaf_size=leaf)
+        ht = build_htree(tree, "h2-geometric", tau=tau)
+        cov = ht.coverage_matrix()
+        assert (cov == 1).all()
+
+    @given(seed=st.integers(0, 50), n=st.integers(40, 200),
+           budget=st.floats(0.0, 0.5))
+    @SLOW
+    def test_budget_tiling_always_exact(self, seed, n, budget):
+        pts = rand_points(seed, n, 3)
+        tree = build_cluster_tree(pts, leaf_size=16)
+        ht = build_htree(tree, "h2-b", budget=budget)
+        cov = ht.coverage_matrix()
+        assert (cov == 1).all()
+
+
+class TestBlockingProperties:
+    @given(seed=st.integers(0, 50), blocksize=st.integers(1, 8))
+    @SLOW
+    def test_blocks_always_conflict_free(self, seed, blocksize):
+        pts = rand_points(seed, 150, 2)
+        tree = build_cluster_tree(pts, leaf_size=16)
+        ht = build_htree(tree, "h2-geometric", tau=0.65)
+        bs = build_blockset(ht, blocksize, kind="near")
+        # Partition of the interaction set...
+        assert sorted(bs.all_interactions()) == sorted(ht.near_pairs())
+        # ...with pairwise-disjoint writer sets.
+        writers = [bs.writer_rows(b) for b in range(bs.num_blocks)]
+        for a in range(len(writers)):
+            for b in range(a + 1, len(writers)):
+                assert writers[a].isdisjoint(writers[b])
+
+
+class TestCoarseningProperties:
+    @given(seed=st.integers(0, 50), p=st.integers(1, 8),
+           agg=st.integers(1, 5))
+    @SLOW
+    def test_schedule_respects_dependencies(self, seed, p, agg):
+        """For any (p, agg): nodes appear exactly once, children always
+        scheduled before parents in the upward order."""
+        pts = rand_points(seed, 200, 2)
+        kernel = GaussianKernel(0.5)
+        res = compress(pts, kernel, structure="h2-geometric", tau=0.65,
+                       bacc=1e-4, leaf_size=16, seed=0)
+        cs = build_coarsenset(res.tree, res.sranks, p=p, agg=agg)
+        order = []
+        for cl in cs.levels:
+            # Sub-trees in a level may interleave arbitrarily: validate each
+            # sub-tree locally against everything scheduled in prior levels.
+            done_before = set(order)
+            for st_ in cl.subtrees:
+                local = set(done_before)
+                for v in st_.nodes:
+                    if not res.tree.is_leaf(v):
+                        for c in (int(res.tree.lchild[v]),
+                                  int(res.tree.rchild[v])):
+                            if res.sranks[c] > 0:
+                                assert c in local
+                    local.add(v)
+            order.extend(cl.all_nodes())
+        active = set(np.flatnonzero(res.sranks > 0).tolist())
+        assert sorted(order) == sorted(active)
+
+
+class TestEvaluationProperties:
+    @given(seed=st.integers(0, 30),
+           structure=st.sampled_from(["hss", "h2-geometric"]),
+           q=st.integers(1, 4))
+    @SLOW
+    def test_accuracy_always_within_tolerance(self, seed, structure, q):
+        """End to end, for random point sets: ε_f stays under a loose bound
+        tied to bacc (the paper's loose-upper-bound relationship)."""
+        pts = rand_points(seed, 220, 2)
+        kernel = GaussianKernel(0.5)
+        res = compress(pts, kernel, structure=structure, bacc=1e-7,
+                       leaf_size=16, seed=0)
+        rng = np.random.default_rng(seed + 1)
+        W = rng.random((220, q))
+        Y = evaluate_reference(res.factors, W)
+        K = kernel.block(res.tree.ordered_points, res.tree.ordered_points)
+        err = np.linalg.norm(Y - K @ W) / np.linalg.norm(K @ W)
+        assert err < 1e-3
+
+    @given(seed=st.integers(0, 30))
+    @SLOW
+    def test_generated_code_always_matches_reference(self, seed):
+        """Codegen correctness is input-independent."""
+        from repro.core.inspector import Inspector
+
+        pts = rand_points(seed, 180, 2)
+        insp = Inspector(structure="h2-geometric", tau=0.65, bacc=1e-5,
+                         leaf_size=16, p=3, seed=0)
+        H = insp.run(pts, GaussianKernel(0.5))
+        rng = np.random.default_rng(seed)
+        W = rng.random((180, 2))
+        Wt = W[H.tree.perm]
+        np.testing.assert_allclose(
+            H.evaluator(Wt), evaluate_reference(H.factors, Wt), atol=1e-9)

@@ -1,0 +1,66 @@
+"""Tests for the ASCII chart primitives."""
+
+import pytest
+
+from repro.reporting import bar_chart, line_chart, scatter_plot
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        out = bar_chart(["a", "bb"], {"sys1": [1.0, 2.0], "sys2": [2.0, 4.0]})
+        assert "a" in out and "bb" in out
+        assert "legend" in out
+        assert "sys1" in out and "sys2" in out
+
+    def test_bar_lengths_proportional(self):
+        out = bar_chart(["x"], {"s": [10.0]}, width=20)
+        full = bar_chart(["x", "y"], {"s": [10.0, 5.0]}, width=20)
+        lines = [l for l in full.splitlines() if "|" in l]
+        n_full = lines[0].count("#")
+        n_half = lines[1].count("#")
+        assert n_full == 20 and n_half == 10
+
+    def test_zero_values_ok(self):
+        out = bar_chart(["z"], {"s": [0.0]})
+        assert "|" in out
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a", "b"], {"s": [1.0]})
+
+
+class TestLineChart:
+    def test_renders_grid(self):
+        out = line_chart([1, 2, 4, 8], {"m": [1, 2, 4, 8], "g": [1, 2, 3, 3]})
+        assert out.count("|") >= 16 * 2
+        assert "legend" in out
+
+    def test_extremes_on_grid(self):
+        out = line_chart([0, 1], {"s": [0.0, 10.0]}, width=10, height=5)
+        rows = [l for l in out.splitlines() if l.strip().startswith("|")]
+        assert any("*" in r for r in rows)
+
+    def test_constant_series_ok(self):
+        out = line_chart([0, 1, 2], {"s": [5.0, 5.0, 5.0]})
+        assert "*" in out
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            line_chart([1], {"s": [1.0]})
+
+
+class TestScatterPlot:
+    def test_points_and_fit(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        y = [1.1, 2.1, 2.9, 4.2]
+        out = scatter_plot(x, y)
+        assert "*" in out
+        assert "." in out  # fit line
+
+    def test_no_fit_line(self):
+        out = scatter_plot([1, 2, 3], [3, 1, 2], fit_line=False)
+        assert "." not in out.replace("...", "")
+
+    def test_mismatched_raises(self):
+        with pytest.raises(ValueError):
+            scatter_plot([1, 2], [1])

@@ -1,0 +1,145 @@
+"""Unit tests for the discrete-event machine simulator."""
+
+import pytest
+
+from repro.runtime import HASWELL, KNL, simulate_dynamic, simulate_phases
+from repro.runtime.tasks import Phase, Task
+
+
+def mk_task(flops=1e7, nbytes=1e5, affinity=0, deps=(), atomic=False,
+            out_elems=0.0):
+    return Task("t", flops, nbytes, affinity=affinity, deps=deps,
+                atomic=atomic, out_elems=out_elems)
+
+
+class TestStaticPhases:
+    def test_serial_phase_sums_tasks(self):
+        ph = Phase("s", "serial", [[mk_task(), mk_task()]])
+        one = simulate_phases([Phase("s", "serial", [[mk_task()]])], HASWELL)
+        two = simulate_phases([ph], HASWELL)
+        assert two.time_s == pytest.approx(2 * one.time_s, rel=1e-6)
+
+    def test_parallel_for_speedup(self):
+        units = [[mk_task()] for _ in range(48)]
+        t1 = simulate_phases([Phase("p", "parallel_for", units)], HASWELL, p=1)
+        t12 = simulate_phases([Phase("p", "parallel_for", units)], HASWELL, p=12)
+        assert 6 < t1.time_s / t12.time_s <= 12.5
+
+    def test_parallel_units_limited_by_slowest(self):
+        fast = [mk_task(flops=1e6)]
+        slow = [mk_task(flops=1e8)]
+        res = simulate_phases(
+            [Phase("p", "parallel_units", [fast, slow])], HASWELL, p=2
+        )
+        only_slow = simulate_phases(
+            [Phase("p", "parallel_units", [slow])], HASWELL, p=1
+        )
+        assert res.time_s >= only_slow.time_s * 0.99
+
+    def test_parallel_units_fold_when_more_than_p(self):
+        units = [[mk_task()] for _ in range(10)]
+        res = simulate_phases(
+            [Phase("p", "parallel_units", units)], HASWELL, p=2
+        )
+        assert res.num_tasks == 10
+        # Folded onto 2 workers: ~5 tasks each.
+        single = simulate_phases(
+            [Phase("p", "parallel_units", units[:1])], HASWELL, p=2
+        )
+        assert res.time_s > 4 * single.time_s
+
+    def test_blas_phase_uses_all_cores(self):
+        tasks = [mk_task(flops=1e9)]
+        r1 = simulate_phases([Phase("b", "blas", [tasks])], HASWELL, p=1)
+        r12 = simulate_phases([Phase("b", "blas", [tasks])], HASWELL, p=12)
+        assert r1.time_s > 5 * r12.time_s
+
+    def test_atomic_tasks_cost_more(self):
+        plain = [[mk_task(out_elems=1e6)] for _ in range(8)]
+        atomics = [[mk_task(out_elems=1e6, atomic=True)] for _ in range(8)]
+        t_plain = simulate_phases(
+            [Phase("p", "parallel_for", plain, atomic_per_task=True)],
+            HASWELL, p=4)
+        t_atomic = simulate_phases(
+            [Phase("p", "parallel_for", atomics, atomic_per_task=True)],
+            HASWELL, p=4)
+        assert t_atomic.time_s > t_plain.time_s * 1.5
+
+    def test_locality_inflates_time(self):
+        units = [[mk_task()] for _ in range(16)]
+        base = simulate_phases([Phase("p", "parallel_for", units)],
+                               HASWELL, p=4, locality=1.0)
+        worse = simulate_phases([Phase("p", "parallel_for", units)],
+                                HASWELL, p=4, locality=2.0)
+        assert worse.time_s > 1.5 * base.time_s
+
+    def test_contention_beta_hurts_scaling(self):
+        units = [[mk_task()] for _ in range(96)]
+        no_c = simulate_phases([Phase("p", "parallel_for", units)],
+                               HASWELL, p=12, locality=2.0,
+                               contention_beta=0.0)
+        with_c = simulate_phases([Phase("p", "parallel_for", units)],
+                                 HASWELL, p=12, locality=2.0,
+                                 contention_beta=0.1)
+        assert with_c.time_s > no_c.time_s
+
+    def test_unknown_phase_kind(self):
+        with pytest.raises(ValueError):
+            simulate_phases([Phase("x", "wavefront", [[mk_task()]])], HASWELL)
+
+    def test_phase_times_recorded(self):
+        res = simulate_phases(
+            [Phase("a", "serial", [[mk_task()]]),
+             Phase("b", "serial", [[mk_task()]])], HASWELL)
+        assert set(res.phase_times) == {"a", "b"}
+        assert res.time_s == pytest.approx(sum(res.phase_times.values()))
+
+
+class TestDynamicScheduler:
+    def test_empty_graph(self):
+        res = simulate_dynamic([], HASWELL)
+        assert res.time_s == 0.0
+
+    def test_independent_tasks_scale(self):
+        tasks = [mk_task(affinity=i) for i in range(64)]
+        t1 = simulate_dynamic(tasks, HASWELL, p=1)
+        t12 = simulate_dynamic(tasks, HASWELL, p=12)
+        assert t1.time_s / t12.time_s > 3
+
+    def test_chain_does_not_scale(self):
+        tasks = [mk_task(deps=(i - 1,) if i else ()) for i in range(16)]
+        t1 = simulate_dynamic(tasks, HASWELL, p=1)
+        t8 = simulate_dynamic(tasks, HASWELL, p=8)
+        assert t8.time_s >= 0.9 * t1.time_s  # a chain is a chain
+
+    def test_dependencies_respected_in_makespan(self):
+        # Diamond: 1 -> (2, 3) -> 4; must take >= 3 task durations.
+        tasks = [
+            mk_task(), mk_task(deps=(0,)), mk_task(deps=(0,)),
+            mk_task(deps=(1, 2)),
+        ]
+        one = simulate_dynamic([mk_task()], HASWELL, p=1).time_s
+        res = simulate_dynamic(tasks, HASWELL, p=4)
+        assert res.time_s >= 2.5 * one
+
+    def test_migration_penalty_with_many_affinities(self):
+        # Same worker ping-ponged across data regions pays migrations.
+        same = [mk_task(affinity=0) for _ in range(32)]
+        mixed = [mk_task(affinity=i % 8) for i in range(32)]
+        t_same = simulate_dynamic(same, HASWELL, p=4)
+        t_mixed = simulate_dynamic(mixed, HASWELL, p=4)
+        assert t_mixed.time_s > t_same.time_s
+
+    def test_queue_contention_at_high_core_count(self):
+        """The central queue serializes: with many tiny tasks the marginal
+        benefit of extra cores vanishes (the paper's GOFMM 34->68 drop)."""
+        tasks = [mk_task(flops=5e4, nbytes=1e3, affinity=i) for i in range(600)]
+        t34 = simulate_dynamic(tasks, KNL, p=34)
+        t68 = simulate_dynamic(tasks, KNL, p=68)
+        assert t68.time_s > 0.8 * t34.time_s  # little to no gain
+
+    def test_busy_accounting(self):
+        tasks = [mk_task() for _ in range(10)]
+        res = simulate_dynamic(tasks, HASWELL, p=2)
+        assert 0 < res.busy_s <= res.time_s * 2 + 1e-9
+        assert res.num_tasks == 10

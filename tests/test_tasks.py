@@ -1,0 +1,145 @@
+"""Unit tests for task-graph and phase extraction."""
+
+import pytest
+
+from repro import inspector
+from repro.kernels import GaussianKernel
+from repro.metrics import evaluation_flop_breakdown
+from repro.runtime.tasks import (
+    gofmm_taskgraph,
+    levelbylevel_phases,
+    matrox_phases,
+)
+
+
+@pytest.fixture(scope="module")
+def H(points_2d):
+    return inspector(points_2d, kernel=GaussianKernel(0.5),
+                     structure="h2-geometric", tau=0.65,
+                     leaf_size=32, bacc=1e-5, seed=0, p=4)
+
+
+@pytest.fixture(scope="module")
+def H_hss(points_2d):
+    return inspector(points_2d, kernel=GaussianKernel(0.5), structure="hss",
+                     leaf_size=32, bacc=1e-5, seed=0, p=4)
+
+
+Q = 64
+
+
+class TestMatroxPhases:
+    def test_flops_match_analytic_count(self, H):
+        phases = matrox_phases(H.cds, Q, decision=H.evaluator.decision)
+        total = sum(p.total_flops() for p in phases)
+        expect = evaluation_flop_breakdown(H.factors, Q)["total"]
+        assert total == pytest.approx(expect)
+
+    def test_phase_ordering(self, H):
+        phases = matrox_phases(H.cds, Q, decision=H.evaluator.decision)
+        names = [p.name for p in phases]
+        assert names[0] == "near"
+        first_up = next(i for i, n in enumerate(names) if n.startswith("upward"))
+        last_up = max(i for i, n in enumerate(names) if n.startswith("upward"))
+        assert names.index("coupling") > last_up >= first_up
+        assert any(n.startswith("downward") for n in names)
+
+    def test_peeled_phase_present_when_decided(self, H):
+        phases = matrox_phases(H.cds, Q, decision=H.evaluator.decision)
+        if H.evaluator.decision.peel_root:
+            assert any(p.kind == "blas" for p in phases)
+
+    def test_hss_near_not_atomic(self, H_hss):
+        """HSS near list is the leaf diagonal: single-writer, no atomics."""
+        phases = matrox_phases(H_hss.cds, Q, decision=H_hss.evaluator.decision)
+        near = next(p for p in phases if p.name == "near")
+        assert not any(t.atomic for u in near.units for t in u)
+
+    def test_h2_unblocked_near_is_atomic(self, H):
+        """Forcing block lowering off marks multi-writer near tasks atomic."""
+        from repro.baselines.matrox import _decision_for
+
+        d = _decision_for("+coarsen", H.evaluator.decision)
+        phases = matrox_phases(H.cds, Q, decision=d)
+        near = next(p for p in phases if p.name == "near")
+        assert any(t.atomic for u in near.units for t in u)
+
+    def test_coarsen_units_bounded_by_p(self, H):
+        phases = matrox_phases(H.cds, Q, decision=H.evaluator.decision)
+        for p in phases:
+            if p.name.startswith("upward[") and p.kind == "parallel_units":
+                assert len(p.units) <= max(H.cds.coarsenset.num_partitions, 1)
+
+
+class TestGofmmTaskgraph:
+    def test_covers_all_work(self, H):
+        tasks = gofmm_taskgraph(H.factors, Q)
+        total = sum(t.flops for t in tasks)
+        expect = evaluation_flop_breakdown(H.factors, Q)["total"]
+        assert total == pytest.approx(expect)
+
+    def test_acyclic_and_valid_deps(self, H):
+        tasks = gofmm_taskgraph(H.factors, Q)
+        for i, t in enumerate(tasks):
+            for d in t.deps:
+                assert 0 <= d < len(tasks)
+                assert d != i
+
+    def test_topological_order_possible(self, H):
+        """Kahn's algorithm must consume the whole graph (acyclicity)."""
+        tasks = gofmm_taskgraph(H.factors, Q)
+        indeg = [len(t.deps) for t in tasks]
+        deps_of = [[] for _ in tasks]
+        for i, t in enumerate(tasks):
+            for d in t.deps:
+                deps_of[d].append(i)
+        ready = [i for i, d in enumerate(indeg) if d == 0]
+        seen = 0
+        while ready:
+            v = ready.pop()
+            seen += 1
+            for w in deps_of[v]:
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    ready.append(w)
+        assert seen == len(tasks)
+
+    def test_interior_up_depends_on_children(self, H):
+        tasks = gofmm_taskgraph(H.factors, Q)
+        up_names = {t.name: i for i, t in enumerate(tasks)
+                    if t.name.startswith("up(")}
+        tree = H.tree
+        for v in range(tree.num_nodes):
+            if tree.is_leaf(v) or H.factors.srank(v) == 0:
+                continue
+            i = up_names.get(f"up({v})")
+            if i is None:
+                continue
+            dep_names = {tasks[d].name for d in tasks[i].deps}
+            for c in (int(tree.lchild[v]), int(tree.rchild[v])):
+                if H.factors.srank(c) > 0:
+                    assert f"up({c})" in dep_names
+
+
+class TestLevelByLevelPhases:
+    def test_flops_match(self, H_hss):
+        phases = levelbylevel_phases(H_hss.factors, Q)
+        total = sum(p.total_flops() for p in phases)
+        expect = evaluation_flop_breakdown(H_hss.factors, Q)["total"]
+        assert total == pytest.approx(expect)
+
+    def test_one_phase_per_active_level_each_direction(self, H_hss):
+        phases = levelbylevel_phases(H_hss.factors, Q)
+        ups = [p for p in phases if p.name.startswith("up-level")]
+        downs = [p for p in phases if p.name.startswith("down-level")]
+        assert len(ups) == len(downs)
+        assert len(ups) >= 2  # multiple tree levels -> multiple barriers
+
+    def test_more_barriers_than_matrox(self, H_hss):
+        """The level-by-level discipline synchronizes once per tree level;
+        coarsening (agg=2) roughly halves the barrier count."""
+        lvl = levelbylevel_phases(H_hss.factors, Q)
+        mtx = matrox_phases(H_hss.cds, Q, decision=H_hss.evaluator.decision)
+        n_lvl = sum(1 for p in lvl if p.kind != "serial")
+        n_mtx = sum(1 for p in mtx if p.kind != "serial")
+        assert n_lvl > n_mtx

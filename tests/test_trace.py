@@ -1,0 +1,110 @@
+"""Unit tests for storage-layout address traces."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import build_blockset, build_coarsenset
+from repro.compression import compress
+from repro.runtime import HASWELL, cds_trace, simulate_trace, treebased_trace
+from repro.runtime.latency import locality_factor
+from repro.runtime.trace import (
+    cds_address_map,
+    library_visit_sequence,
+    matrox_visit_sequence,
+    trace_from_sequence,
+    treebased_address_map,
+)
+from repro.storage import build_cds, build_treebased
+
+
+@pytest.fixture(scope="module")
+def packed(points_2d, gaussian_kernel):
+    res = compress(points_2d, gaussian_kernel, structure="h2-geometric",
+                   tau=0.65, bacc=1e-5, leaf_size=32, seed=0)
+    cs = build_coarsenset(res.tree, res.sranks, p=4, agg=2)
+    nb = build_blockset(res.htree, 2, kind="near")
+    fb = build_blockset(res.htree, 4, kind="far")
+    cds = build_cds(res.factors, cs, nb, fb)
+    tb = build_treebased(res.factors)
+    return res, cds, tb
+
+
+class TestVisitSequences:
+    def test_matrox_sequence_covers_all_generators(self, packed):
+        res, cds, _tb = packed
+        seq = matrox_visit_sequence(cds)
+        basis_visits = [k for kind, k in seq if kind == "basis"]
+        # Upward + downward: every basis node visited exactly twice.
+        active = [v for v in range(res.tree.num_nodes) if res.factors.srank(v) > 0]
+        assert sorted(basis_visits) == sorted(active * 2)
+        near_visits = [k for kind, k in seq if kind == "near"]
+        assert sorted(near_visits) == sorted(res.factors.near_blocks)
+
+    def test_library_sequence_covers_all_generators(self, packed):
+        res, _cds, tb = packed
+        seq = library_visit_sequence(res.factors)
+        near_visits = [k for kind, k in seq if kind == "near"]
+        assert sorted(near_visits) == sorted(res.factors.near_blocks)
+        far_visits = [k for kind, k in seq if kind == "far"]
+        assert sorted(far_visits) == sorted(res.factors.coupling)
+
+
+class TestAddressMaps:
+    def test_cds_addresses_disjoint(self, packed):
+        _res, cds, _tb = packed
+        amap = cds_address_map(cds)
+        spans = sorted(amap.values())
+        for (b1, n1), (b2, _n2) in zip(spans, spans[1:]):
+            assert b1 + n1 <= b2
+
+    def test_tb_addresses_disjoint(self, packed):
+        _res, _cds, tb = packed
+        amap = treebased_address_map(tb, shuffle=True, seed=0)
+        spans = sorted(amap.values())
+        for (b1, n1), (b2, _n2) in zip(spans, spans[1:]):
+            assert b1 + n1 <= b2
+
+    def test_tb_shuffle_changes_layout(self, packed):
+        _res, _cds, tb = packed
+        a = treebased_address_map(tb, shuffle=True, seed=0)
+        b = treebased_address_map(tb, shuffle=True, seed=1)
+        assert a != b
+
+    def test_cds_visit_order_is_address_order(self, packed):
+        """The defining CDS property: visiting in schedule order walks the
+        buffers monotonically (first pass over each buffer)."""
+        _res, cds, _tb = packed
+        amap = cds_address_map(cds)
+        near_bases = [amap[("near", p)][0] for p in cds.near_visit_order()]
+        assert near_bases == sorted(near_bases)
+
+    def test_trace_line_granularity(self, packed):
+        _res, cds, _tb = packed
+        amap = cds_address_map(cds)
+        seq = [("basis", next(iter(cds.basis_offset)))]
+        tr = trace_from_sequence(amap, seq, line_bytes=64)
+        base, nbytes = amap[seq[0]]
+        assert len(tr) == (base + nbytes - 1) // 64 - base // 64 + 1
+
+
+class TestLocalityComparison:
+    def test_cds_locality_beats_treebased(self, packed):
+        """The core Figure 6 mechanism: CDS trace must show a lower
+        average memory access latency than tree-based storage."""
+        _res, cds, tb = packed
+        m = HASWELL.scaled_caches(600 / 100_000)
+        loc_cds = locality_factor(simulate_trace(cds_trace(cds), m), m)
+        loc_tb = locality_factor(simulate_trace(treebased_trace(tb), m), m)
+        assert loc_cds < loc_tb
+
+    def test_traces_same_byte_volume(self, packed):
+        """Both layouts store exactly the same generator bytes; only order
+        and placement differ (trace lengths may differ slightly from line
+        straddling and page padding)."""
+        _res, cds, tb = packed
+        cds_bytes = sum(n for _b, n in cds_address_map(cds).values())
+        tb_bytes = sum(n for _b, n in treebased_address_map(tb).values())
+        assert cds_bytes == tb_bytes
+        n_cds = len(cds_trace(cds))
+        n_tb = len(treebased_trace(tb))
+        assert abs(n_cds - n_tb) <= 0.1 * n_cds  # only boundary-line slack

@@ -1,0 +1,156 @@
+"""Unit and property tests for cluster-tree construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tree import build_cluster_tree, kdtree_split, twomeans_split
+
+
+class TestSplitRules:
+    def test_kdtree_split_balanced(self, rng):
+        pts = rng.random((101, 3))
+        idx = np.arange(101)
+        left, right = kdtree_split(pts, idx)
+        assert len(left) == 51 and len(right) == 50
+        assert sorted(np.concatenate([left, right])) == list(range(101))
+
+    def test_kdtree_splits_widest_axis(self):
+        pts = np.zeros((10, 2))
+        pts[:, 1] = np.arange(10)  # all spread on axis 1
+        left, right = kdtree_split(pts, np.arange(10))
+        assert pts[left, 1].max() < pts[right, 1].min()
+
+    def test_twomeans_split_balanced(self, rng):
+        pts = rng.normal(size=(80, 10))
+        left, right = twomeans_split(pts, np.arange(80), rng=0)
+        assert len(left) == 40 and len(right) == 40
+
+    def test_twomeans_separates_clusters(self, rng):
+        a = rng.normal(size=(40, 5))
+        b = rng.normal(size=(40, 5)) + 20.0
+        pts = np.vstack([a, b])
+        left, right = twomeans_split(pts, np.arange(80), rng=0)
+        sides = {tuple(sorted(left.tolist())), tuple(sorted(right.tolist()))}
+        assert tuple(range(40)) in sides
+
+    def test_twomeans_handles_duplicate_points(self):
+        pts = np.ones((16, 4))
+        left, right = twomeans_split(pts, np.arange(16), rng=0)
+        assert len(left) + len(right) == 16
+
+    def test_twomeans_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            twomeans_split(np.ones((1, 2)), np.arange(1), rng=0)
+
+
+class TestBuildClusterTree:
+    def test_basic_invariants_2d(self, points_2d):
+        tree = build_cluster_tree(points_2d, leaf_size=32)
+        assert tree.num_points == 600
+        assert sorted(tree.perm.tolist()) == list(range(600))
+        for leaf in tree.leaves:
+            assert tree.node_size(leaf) <= 32
+
+    def test_children_partition_parent(self, points_2d):
+        tree = build_cluster_tree(points_2d, leaf_size=32)
+        for v in range(tree.num_nodes):
+            if tree.is_leaf(v):
+                continue
+            lc, rc = int(tree.lchild[v]), int(tree.rchild[v])
+            assert tree.start[lc] == tree.start[v]
+            assert tree.stop[lc] == tree.start[rc]
+            assert tree.stop[rc] == tree.stop[v]
+
+    def test_levels_consistent(self, points_2d):
+        tree = build_cluster_tree(points_2d, leaf_size=32)
+        for v in range(1, tree.num_nodes):
+            assert tree.level[v] == tree.level[tree.parent[v]] + 1
+
+    def test_bfs_numbering(self, points_2d):
+        tree = build_cluster_tree(points_2d, leaf_size=32)
+        # BFS order: levels are non-decreasing with node id.
+        assert (np.diff(tree.level) >= 0).all()
+
+    def test_auto_method_dispatch(self, points_2d, points_hd):
+        # Low-dim should be deterministic (kd-tree), high-dim stochastic ok.
+        t1 = build_cluster_tree(points_2d, leaf_size=32, method="auto")
+        t2 = build_cluster_tree(points_2d, leaf_size=32, method="kdtree")
+        np.testing.assert_array_equal(t1.perm, t2.perm)
+        t3 = build_cluster_tree(points_hd, leaf_size=32, method="auto", seed=0)
+        assert t3.num_points == len(points_hd)
+
+    def test_leaf_size_one_point_tree(self):
+        pts = np.array([[0.5, 0.5]])
+        tree = build_cluster_tree(pts, leaf_size=4)
+        assert tree.num_nodes == 1
+        assert tree.is_leaf(0)
+        assert tree.height == 0
+
+    def test_all_leaves_cover_points_once(self, points_2d):
+        tree = build_cluster_tree(points_2d, leaf_size=16)
+        seen = np.zeros(600, dtype=int)
+        for leaf in tree.leaves:
+            seen[tree.node_point_indices(leaf)] += 1
+        assert (seen == 1).all()
+
+    def test_node_points_match_indices(self, points_2d):
+        tree = build_cluster_tree(points_2d, leaf_size=32)
+        for v in [0, 1, int(tree.leaves[0])]:
+            np.testing.assert_array_equal(
+                tree.node_points(v), points_2d[tree.node_point_indices(v)]
+            )
+
+    def test_geometry_radii_cover_points(self, points_2d):
+        tree = build_cluster_tree(points_2d, leaf_size=32)
+        for v in range(tree.num_nodes):
+            pts = tree.node_points(v)
+            d = np.linalg.norm(pts - tree.centers[v], axis=1)
+            assert d.max() <= tree.radii[v] + 1e-12
+
+    def test_postorder_children_before_parents(self, points_2d):
+        tree = build_cluster_tree(points_2d, leaf_size=32)
+        pos = {v: i for i, v in enumerate(tree.postorder())}
+        for v in range(tree.num_nodes):
+            if not tree.is_leaf(v):
+                assert pos[int(tree.lchild[v])] < pos[v]
+                assert pos[int(tree.rchild[v])] < pos[v]
+
+    def test_postorder_covers_all_nodes(self, points_2d):
+        tree = build_cluster_tree(points_2d, leaf_size=32)
+        assert sorted(tree.postorder()) == list(range(tree.num_nodes))
+
+    def test_invalid_leaf_size(self, points_2d):
+        with pytest.raises(ValueError):
+            build_cluster_tree(points_2d, leaf_size=0)
+
+    def test_invalid_method(self, points_2d):
+        with pytest.raises(ValueError, match="unknown method"):
+            build_cluster_tree(points_2d, method="quadtree")
+
+    def test_nan_points_rejected(self):
+        pts = np.full((10, 2), np.nan)
+        with pytest.raises(ValueError, match="finite"):
+            build_cluster_tree(pts)
+
+    @given(
+        n=st.integers(2, 200),
+        leaf=st.integers(1, 40),
+        d=st.integers(1, 3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_tree_invariants(self, n, leaf, d):
+        pts = np.random.default_rng(n * 31 + leaf).random((n, d))
+        tree = build_cluster_tree(pts, leaf_size=leaf)
+        # Permutation valid; leaves within size bound; sizes sum to N.
+        assert sorted(tree.perm.tolist()) == list(range(n))
+        leaf_sizes = [tree.node_size(v) for v in tree.leaves]
+        assert all(s <= max(leaf, 1) for s in leaf_sizes)
+        assert sum(leaf_sizes) == n
+
+    def test_two_means_balanced_depth(self, points_hd):
+        tree = build_cluster_tree(points_hd, leaf_size=25, seed=0)
+        # Median splits -> depth ceil(log2(N/leaf)): all leaves within 1 level.
+        leaf_levels = tree.level[tree.leaves]
+        assert leaf_levels.max() - leaf_levels.min() <= 1
