@@ -89,6 +89,52 @@ def test_fig5_executor_breakdown(structure, pipelines, systems, benchmark):
     assert mean_speedup > 1.5
 
 
+def test_fig5_batched_vs_serial(pipelines, benchmark):
+    """Batched bucketed-GEMM executor vs the Figure 5 ladder (simulated).
+
+    Not a paper rung: the batched engine collapses each loop into a few
+    fat BLAS kernels, so the simulator prices it at blocked-GEMM
+    efficiency with almost no task-spawn overhead. It must beat the
+    serial CDS rung everywhere batching is accepted, and the real
+    (wall-clock) counterpart of this comparison lives in
+    bench_headline.py::test_headline_batched_executor_wallclock.
+    """
+    def run():
+        out = {}
+        for name in dataset_names():
+            H, _p1, _insp, points, _k = pipelines.get(name, "h2-b")
+            machine = scaled_machine(HASWELL, len(points))
+            mx = MatRoxSystem(H)
+            seq = mx.simulate(H.factors, BENCH_Q, machine, p=PAPER_P,
+                              rung="cds-seq")
+            full = mx.simulate(H.factors, BENCH_Q, machine, p=PAPER_P)
+            bat = mx.simulate(H.factors, BENCH_Q, machine, p=PAPER_P,
+                              rung="+batched", q_chunk=256)
+            out[name] = (seq.gflops, full.gflops, bat.gflops,
+                         H.evaluator.decision.batch)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [name, fmt(seq, 1), fmt(full, 1), fmt(bat, 1), fmt(bat / seq), gate]
+        for name, (seq, full, bat, gate) in results.items()
+    ]
+    print_table(
+        f"Batched executor vs ladder (h2-b, Haswell, Q={BENCH_Q}, simulated)",
+        ["dataset", "CDS(seq)", "+low-level", "batched", "batched/seq",
+         "gate"],
+        rows,
+    )
+    save_results(
+        "fig5_batched",
+        {k: {"cds-seq": v[0], "+low-level": v[1], "batched": v[2],
+             "batch_gate": v[3]} for k, v in results.items()},
+    )
+    for name, (seq, _full, bat, _gate) in results.items():
+        assert bat > seq, name
+
+
 def test_fig5_coarsening_contribution(pipelines, systems, benchmark):
     """Coarsening contributes more for HSS (79.2%) than H2-b (46.8%)."""
     fracs = {}

@@ -1,4 +1,21 @@
-"""Shim so editable installs work offline with legacy setuptools (no wheel)."""
-from setuptools import setup
+"""Package metadata. Editable installs work offline with legacy setuptools
+(no wheel); the quickstart and docs live in README.md."""
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="matrox-repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of MatRox (Liu et al., PPoPP 2020): inspector-executor "
+        "H2 hierarchical-matrix evaluation with CDS storage, specialized "
+        "code generation, and a bucketed batched-GEMM executor"
+    ),
+    long_description=Path(__file__).with_name("README.md").read_text(),
+    long_description_content_type="text/markdown",
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

@@ -20,7 +20,7 @@ paper-figure reproductions.
 
 from repro.compression.compressor import CompressionResult, compress
 from repro.core.accuracy import overall_accuracy, relative_error
-from repro.core.executor import Executor, matmul
+from repro.core.executor import Executor, matmul, matmul_many
 from repro.core.hmatrix import HMatrix
 from repro.core.inspector import (
     InspectionP1,
@@ -55,6 +55,7 @@ __all__ = [
     "HMatrix",
     "Executor",
     "matmul",
+    "matmul_many",
     "compress",
     "CompressionResult",
     "overall_accuracy",

@@ -8,6 +8,9 @@ ladder the paper breaks down:
 * ``+coarsen``   — coarsened tree loops (parallel sub-trees);
 * ``+block``     — blocked reduction loops as well;
 * ``+low-level`` — root-iteration peeling on top (the full system).
+
+``rung="+batched"`` additionally prices the bucketed batched-GEMM executor
+(not a paper rung — the schedule of :func:`matrox_batched_phases`).
 """
 
 from __future__ import annotations
@@ -24,7 +27,7 @@ from repro.runtime.cache import simulate_trace
 from repro.runtime.latency import locality_factor
 from repro.runtime.machine import MachineModel
 from repro.runtime.simulator import simulate_phases
-from repro.runtime.tasks import matrox_phases
+from repro.runtime.tasks import matrox_batched_phases, matrox_phases
 from repro.runtime.trace import cds_trace
 
 LADDER = ("cds-seq", "+coarsen", "+block", "+low-level")
@@ -81,11 +84,16 @@ class MatRoxSystem(Baseline):
 
     def simulate(self, factors: Factors, q: int, machine: MachineModel,
                  p: int | None = None, rung: str = "+low-level",
-                 locality: float | None = None) -> BaselineRun:
-        decision = _decision_for(rung, self.H.evaluator.decision)
-        # Serial rungs run on one core regardless of p.
-        eff_p = 1 if rung == "cds-seq" else p
-        phases = matrox_phases(self.H.cds, q, decision=decision)
+                 locality: float | None = None,
+                 q_chunk: int | None = None) -> BaselineRun:
+        if rung == "+batched":
+            phases = matrox_batched_phases(self.H.cds, q, q_chunk=q_chunk)
+            eff_p = p
+        else:
+            decision = _decision_for(rung, self.H.evaluator.decision)
+            # Serial rungs run on one core regardless of p.
+            eff_p = 1 if rung == "cds-seq" else p
+            phases = matrox_phases(self.H.cds, q, decision=decision)
         loc = self.locality(machine) if locality is None else locality
         sim = simulate_phases(phases, machine, p=eff_p, locality=loc)
         return BaselineRun(system=f"{self.name}:{rung}", sim=sim,

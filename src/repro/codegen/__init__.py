@@ -10,14 +10,26 @@ HMatrix structure.
 """
 
 from repro.codegen.ir import EvaluationIR, build_ir
-from repro.codegen.lowering import LoweringDecision, decide_lowering
-from repro.codegen.emit import GeneratedEvaluator, generate_evaluator
+from repro.codegen.lowering import (
+    LoweringDecision,
+    batch_occupancy,
+    decide_lowering,
+    lower_batched,
+)
+from repro.codegen.emit import (
+    GeneratedEvaluator,
+    generate_batched_evaluator,
+    generate_evaluator,
+)
 
 __all__ = [
     "EvaluationIR",
     "build_ir",
     "LoweringDecision",
     "decide_lowering",
+    "lower_batched",
+    "batch_occupancy",
     "GeneratedEvaluator",
     "generate_evaluator",
+    "generate_batched_evaluator",
 ]

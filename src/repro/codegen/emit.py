@@ -40,13 +40,20 @@ def _run_parallel(pool, fn, items):
 
 @dataclass
 class GeneratedEvaluator:
-    """A compiled, specialized HMatrix-matrix multiplication."""
+    """A compiled, specialized HMatrix-matrix multiplication.
+
+    ``q_chunk`` (when set) streams right-hand sides through the generated
+    code in column panels of at most that width, so the W/Y/T/S panels of
+    one pass stay cache-resident for arbitrarily wide Q (the batched
+    engine's multi-RHS path; see DESIGN.md section 3).
+    """
 
     source: str
     decision: LoweringDecision
     cds: CDSMatrix
     _fn: Callable = field(repr=False, default=None)
     name: str = "hmatmul"
+    q_chunk: int | None = None
 
     def __call__(self, W: np.ndarray, pool=None) -> np.ndarray:
         """Evaluate ``Y = K~ W`` (tree order). W: (N, Q) or (N,)."""
@@ -58,7 +65,15 @@ class GeneratedEvaluator:
         if W.shape[0] != n:
             raise ValueError(f"W has {W.shape[0]} rows, HMatrix dim is {n}")
         Y = np.zeros_like(W)
-        self._fn(W, Y, pool)
+        qc = self.q_chunk
+        if qc and W.shape[1] > qc:
+            for q0 in range(0, W.shape[1], qc):
+                Wc = np.ascontiguousarray(W[:, q0:q0 + qc])
+                Yc = np.zeros_like(Wc)
+                self._fn(Wc, Yc, pool)
+                Y[:, q0:q0 + qc] = Yc
+        else:
+            self._fn(W, Y, pool)
         return Y[:, 0] if squeeze else Y
 
 
@@ -325,4 +340,259 @@ def generate_evaluator(
     exec(code, env)
     return GeneratedEvaluator(
         source=source, decision=decision, cds=cds, _fn=env[name], name=name
+    )
+
+
+# --------------------------------------------------------------------------
+# Batched (bucketed batched-GEMM) emission.
+#
+# The reduction loops (near, coupling) lower to *row panels*: all blocks
+# sharing an output node concatenate into one wide generator panel, so the
+# whole reduction for that node is a single 2-D GEMM against gathered
+# operand rows, scattered back by a plain slice add (single writer, no
+# atomics, no ``np.add.at``). The tree loops lower to *stacked GEMMs* over
+# the CDS shape buckets, one ``np.matmul`` per (level, role, shape) group.
+# Either way the per-block interpreter dispatch leaves the critical path.
+# --------------------------------------------------------------------------
+
+def _runs(segments: list[tuple[int, int]]):
+    """Merge sorted ``[start, stop)`` segments into maximal contiguous runs.
+
+    The gather of a row panel's operand rows then executes as a handful of
+    ``memcpy``-speed slice copies instead of per-element fancy indexing —
+    in tree order, a node's near/far neighbours are mostly contiguous.
+    """
+    merged: list[list[int]] = []
+    for a, b in segments:
+        if merged and merged[-1][1] == a:
+            merged[-1][1] = b
+        else:
+            merged.append([a, b])
+    return tuple((int(a), int(b)) for a, b in merged)
+
+
+# A panel whose gather runs span a nearly-contiguous range is zero-padded
+# to the full span instead: up to this much extra compute buys an operand
+# that is a pure view of the source (no gather copy, no buffer traffic).
+_PAD_LIMIT = 1.3
+
+
+def _row_panel_tables(pairs, row_range, col_range, blocks):
+    """Row panels for one reduction loop: (panel, gather runs, K, si, ei).
+
+    ``row_range``/``col_range`` map a node id to its ``[start, stop)`` rows
+    in the output/operand panel; ``blocks[(i, j)]`` is the generator. A
+    single gather run executes against a *view* of the operand; when the
+    runs almost tile their span, the panel is zero-padded over the holes to
+    force that case (``_PAD_LIMIT`` bounds the wasted flops).
+    """
+    by_row: dict[int, list[int]] = {}
+    for (i, j) in pairs:
+        by_row.setdefault(i, []).append(j)
+    table = []
+    for i, js in by_row.items():
+        js = sorted(js, key=lambda j: col_range(j)[0])
+        segs = [col_range(j) for j in js]
+        runs = _runs(segs)
+        k = sum(b - a for a, b in runs)
+        lo, hi = runs[0][0], runs[-1][1]
+        m = blocks[(i, js[0])].shape[0]
+        if len(runs) > 1 and hi - lo <= _PAD_LIMIT * k:
+            panel = np.zeros((m, hi - lo))
+            for j, (a, b) in zip(js, segs):
+                panel[:, a - lo:b - lo] = blocks[(i, j)]
+            runs = ((lo, hi),)
+            k = hi - lo
+        else:
+            panel = np.ascontiguousarray(
+                np.hstack([blocks[(i, j)] for j in js])
+            )
+        si, ei = row_range(i)
+        table.append((panel, runs, k, si, ei))
+    return tuple(table)
+
+
+def _batched_near_tables(cds: CDSMatrix):
+    t = cds.tree
+    rng = lambda v: (int(t.start[v]), int(t.stop[v]))
+    blocks = {p: cds.near(*p) for p in cds.near_visit_order()}
+    return _row_panel_tables(cds.near_visit_order(), rng, rng, blocks)
+
+
+def _rank_offsets(cds: CDSMatrix) -> tuple[dict[int, int], int]:
+    """Row offsets of each basis node's skeleton block in the flat T/S panel."""
+    off: dict[int, int] = {}
+    total = 0
+    for v in cds.basis_nodes():
+        off[v] = total
+        total += cds.factors.srank(v)
+    return off, total
+
+
+def _batched_tree_tables(cds: CDSMatrix, toff: dict[int, int]):
+    """Upward/downward level tables over the basis shape buckets.
+
+    Upward entries are ``(G^T stack, gather, t_rows, from_w)`` executing
+    ``T[t_rows] = (G^T @ src[gather]).reshape(-1, Q)``; downward entries
+    are ``(G stack, s_rows, scatter, to_y)`` executing the transpose.
+    Interior transfers read/write the children's skeleton rows in lc-then-rc
+    order, which keeps a bucket well-shaped even when the lc/rc rank split
+    differs between its members.
+    """
+    t = cds.tree
+    srank = cds.factors.srank
+    up_levels = []
+    down_levels = []
+    for level in cds.basis_level_buckets():
+        ups, downs = [], []
+        for bucket in level:
+            G = bucket.gather(cds.basis_buf)
+            # Transposed *view* of the same stack (np.matmul lowers it to
+            # BLAS transpose flags) — the generators are stored once.
+            GT = G.transpose(0, 2, 1)
+            if bucket.kind == "leaf":
+                gather = np.stack([
+                    np.arange(t.start[v], t.stop[v]) for v in bucket.keys
+                ])
+                from_w = True
+            else:
+                gather = np.stack([
+                    np.concatenate([
+                        toff[int(t.lchild[v])]
+                        + np.arange(srank(int(t.lchild[v]))),
+                        toff[int(t.rchild[v])]
+                        + np.arange(srank(int(t.rchild[v]))),
+                    ])
+                    for v in bucket.keys
+                ])
+                from_w = False
+            own = np.concatenate([
+                toff[v] + np.arange(srank(v)) for v in bucket.keys
+            ])
+            ups.append((GT, gather, own, from_w))
+            # Downward: same bucket transposed — read own rows, scatter to
+            # the gather rows (W rows become Y rows, child T rows S rows).
+            own2d = own.reshape(bucket.batch, -1)
+            downs.append((G, own2d, gather.ravel(), from_w))
+        up_levels.append(tuple(ups))
+        down_levels.append(tuple(downs))
+    return tuple(up_levels), tuple(reversed(down_levels))
+
+
+def _batched_far_tables(cds: CDSMatrix, toff: dict[int, int]):
+    srank = cds.factors.srank
+    rng = lambda v: (toff[v], toff[v] + srank(v))
+    blocks = {p: cds.far(*p) for p in cds.far_visit_order()}
+    return _row_panel_tables(cds.far_visit_order(), rng, rng, blocks)
+
+
+_BATCHED_SOURCE = '''\
+def {name}(W, Y, pool=None):
+    """Generated batched HMatrix-matrix multiplication (tree order).
+
+    Lowering: near/coupling=batched row-panel 2-D GEMMs, tree=batched
+    stacked GEMMs over the CDS shape buckets. The pool argument is
+    accepted for interface parity and ignored: the fat kernels already
+    saturate BLAS without task-level threading.
+    """
+    Q = W.shape[1]
+    if Q == 0:
+        return Y
+    T = np.empty((RANK_ROWS, Q))
+    S = np.zeros((RANK_ROWS, Q))
+    buf = np.empty((MAX_K, Q))
+
+    # Reduction loops: one wide row-panel GEMM per output node. A single
+    # writer owns each output range, so the update is a plain slice add;
+    # a single-run gather is a view of the source, scattered gathers copy
+    # their few contiguous runs into the shared buffer.
+    def _row_panels(panels, src, out):
+        for panel, runs, k, si, ei in panels:
+            if len(runs) == 1:
+                out[si:ei] += panel @ src[runs[0][0]:runs[0][1]]
+                continue
+            gat = buf[:k]
+            o = 0
+            for a, b in runs:
+                gat[o:o + b - a] = src[a:b]
+                o += b - a
+            out[si:ei] += panel @ gat
+
+    # Near loop.
+    _row_panels(NEAR_PANELS, W, Y)
+
+    # Upward pass: levels bottom-up; inside a level every bucket is one
+    # stacked GEMM writing disjoint skeleton rows of T.
+    for level in UP_LEVELS:
+        for GT, gather, t_rows, from_w in level:
+            src = W if from_w else T
+            T[t_rows] = np.matmul(GT, src[gather]).reshape(-1, Q)
+
+    # Coupling loop, reducing into the S panel.
+    _row_panels(FAR_PANELS, T, S)
+
+    # Downward pass: levels top-down; leaf buckets scatter into Y rows,
+    # interior buckets into the children's S rows (disjoint per level).
+    for level in DOWN_LEVELS:
+        for G, s_rows, scatter, to_y in level:
+            P = np.matmul(G, S[s_rows]).reshape(-1, Q)
+            if to_y:
+                Y[scatter] += P
+            else:
+                S[scatter] += P
+    return Y
+'''
+
+
+def generate_batched_evaluator(
+    cds: CDSMatrix,
+    ir: EvaluationIR | None = None,
+    decision: LoweringDecision | None = None,
+    q_chunk: int | None = 256,
+    name: str = "hmatmul_batched",
+) -> GeneratedEvaluator:
+    """Compile the bucketed batched-GEMM evaluator for ``cds``.
+
+    The returned evaluator computes exactly what :func:`generate_evaluator`
+    computes, but executes one stacked ``np.matmul`` per shape bucket.
+    ``q_chunk`` bounds the panel width of one pass (``None`` disables
+    streaming and runs any Q in a single pass).
+    """
+    from repro.codegen.ir import build_ir
+    from repro.codegen.lowering import decide_lowering, lower_batched
+
+    if ir is None:
+        ir = build_ir(
+            cds.factors,
+            coarsenset=cds.coarsenset,
+            near_blockset=cds.near_blockset,
+            far_blockset=cds.far_blockset,
+        )
+    if decision is None:
+        decision = decide_lowering(ir)
+    decision = lower_batched(ir, decision)
+
+    toff, rank_rows = _rank_offsets(cds)
+    up_levels, down_levels = _batched_tree_tables(cds, toff)
+    near_panels = _batched_near_tables(cds)
+    far_panels = _batched_far_tables(cds, toff)
+    max_k = max(
+        (e[2] for e in near_panels + far_panels if len(e[1]) > 1),
+        default=1,
+    )
+    env = {
+        "np": np,
+        "RANK_ROWS": rank_rows,
+        "MAX_K": max(max_k, 1),
+        "NEAR_PANELS": near_panels,
+        "FAR_PANELS": far_panels,
+        "UP_LEVELS": up_levels,
+        "DOWN_LEVELS": down_levels,
+    }
+    source = _BATCHED_SOURCE.format(name=name)
+    code = compile(source, filename=f"<matrox-generated:{name}>", mode="exec")
+    exec(code, env)
+    return GeneratedEvaluator(
+        source=source, decision=decision, cds=cds, _fn=env[name], name=name,
+        q_chunk=q_chunk,
     )

@@ -27,7 +27,9 @@ class LoopNest:
     name: str                       # "near" | "upward" | "coupling" | "downward"
     kind: str                       # "reduction" | "tree"
     iterations: list = field(default_factory=list)
-    lowered_to: str = "serial"      # "serial" | "blocked" | "coarsened"
+    # "serial" | "blocked" | "coarsened" | "batched" — "batched" replaces
+    # the per-iteration GEMMs with one stacked GEMM per CDS shape bucket.
+    lowered_to: str = "serial"
 
     @property
     def trip_count(self) -> int:

@@ -1,4 +1,4 @@
-"""Lowering decisions: when block / coarsen / low-level lowering apply.
+"""Lowering decisions: when block / coarsen / low-level / batch lowering apply.
 
 The paper gates each lowering on a threshold so thread-launch overhead is
 amortised: block lowering requires more interactions than ``block_threshold``
@@ -6,11 +6,19 @@ amortised: block lowering requires more interactions than ``block_threshold``
 levels than ``coarsen_threshold`` (default 4). Root peeling (the low-level
 transform) applies whenever coarsen lowering does and the top of the tree
 has too little task parallelism.
+
+Batch lowering (``lowered_to="batched"``) rewrites every loop to execute
+one stacked GEMM per CDS shape bucket instead of one small GEMM per
+iteration, eliminating the per-block dispatch overhead of the interpreted
+executor. Its cost-model gate is *bucket occupancy*: batching only pays
+when the mean number of same-shape generators per bucket reaches
+``batch_threshold`` (default 2), otherwise the gather/scatter traffic buys
+no kernel-launch amortisation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.codegen.ir import EvaluationIR
 
@@ -27,6 +35,49 @@ class LoweringDecision:
     far_block_threshold: int
     coarsen_threshold: int
     reasons: tuple[str, ...] = ()
+    batch: bool = False
+    batch_threshold: float = 2.0
+
+
+def batch_occupancy(ir: EvaluationIR) -> float:
+    """Mean GEMMs fused per batched kernel across all four loops.
+
+    The reduction loops fuse all interactions sharing an output node into
+    one row-panel GEMM, so their fusion factor is interactions per distinct
+    output node; the tree loops fuse each (level, role, shape) bucket into
+    one stacked GEMM. Near 1.0 (e.g. HSS: a diagonal-only near list and
+    sibling-only coupling, one block per output node) batching degenerates
+    to the serial loop plus gather traffic and is not worth compiling.
+    """
+    factors = ir.factors
+    tree = factors.tree
+    kernels = 0
+    gemms = 0
+    for loop in ("near", "coupling"):
+        rows = {i for (i, _j) in ir.loop(loop).iterations}
+        kernels += len(rows)
+        gemms += ir.loop(loop).trip_count
+    buckets: dict[tuple, int] = {}
+    for v in ir.loop("upward").iterations:
+        if v == 0:
+            continue
+        gen = factors.leaf_basis[v] if tree.is_leaf(v) else factors.transfer[v]
+        key = (int(tree.level[v]), tree.is_leaf(v), gen.shape)
+        buckets[key] = buckets.get(key, 0) + 1
+    kernels += len(buckets)
+    gemms += sum(buckets.values())
+    return gemms / kernels if kernels else 0.0
+
+
+def lower_batched(ir: EvaluationIR, base: LoweringDecision) -> LoweringDecision:
+    """Rewrite all four loop annotations to the batched lowering."""
+    for name in ("near", "upward", "coupling", "downward"):
+        ir.loop(name).lowered_to = "batched"
+    return replace(
+        base,
+        batch=True,
+        reasons=base.reasons + ("all loops lowered to bucketed batched GEMMs",),
+    )
 
 
 def decide_lowering(
@@ -35,6 +86,7 @@ def decide_lowering(
     far_block_threshold: int | None = None,
     coarsen_threshold: int = 4,
     low_level: bool = True,
+    batch_threshold: float = 2.0,
 ) -> LoweringDecision:
     """Apply the paper's threshold rules to the IR.
 
@@ -79,6 +131,16 @@ def decide_lowering(
     if peel:
         reasons.append("root iteration peeled for BLAS-level parallelism")
 
+    # Batch gate: is a bucketed batched-GEMM executor worth compiling?
+    # (The standard lowering annotations below are unaffected — the batched
+    # evaluator is a separate compiled artifact; see ``lower_batched``.)
+    occupancy = batch_occupancy(ir)
+    batch = occupancy >= batch_threshold
+    reasons.append(
+        f"bucket occupancy {occupancy:.1f} "
+        f"{'>=' if batch else '<'} batch_threshold {batch_threshold}"
+    )
+
     # Record the decision on the IR loops.
     ir.loop("near").lowered_to = "blocked" if block_near else "serial"
     ir.loop("coupling").lowered_to = "blocked" if block_far else "serial"
@@ -94,4 +156,6 @@ def decide_lowering(
         far_block_threshold=far_block_threshold,
         coarsen_threshold=coarsen_threshold,
         reasons=tuple(reasons),
+        batch=batch,
+        batch_threshold=batch_threshold,
     )

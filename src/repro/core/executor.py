@@ -4,6 +4,12 @@
 additionally owns a thread pool so repeated evaluations (the common case the
 inspector amortises against) reuse worker threads. NumPy's BLAS releases the
 GIL inside GEMM, so sub-tree and block tasks overlap on real cores.
+
+``order="batched"`` routes the evaluation through the bucketed batched-GEMM
+engine (one stacked GEMM per CDS shape bucket; see DESIGN.md section 3),
+falling back to the thread-pool per-block code when the cost model rejected
+batch lowering. :func:`matmul_many` streams wide or many-panel right-hand
+sides through cache-sized column chunks.
 """
 
 from __future__ import annotations
@@ -13,6 +19,10 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from repro.core.hmatrix import HMatrix
+
+# Default streaming panel width: 256 float64 columns over a typical leaf
+# keeps one pass's W/Y/T/S working set inside the last-level cache.
+DEFAULT_Q_CHUNK = 256
 
 
 class Executor:
@@ -31,6 +41,21 @@ class Executor:
 
     def matmul(self, H: HMatrix, W: np.ndarray, order: str = "original") -> np.ndarray:
         return H.matmul(W, pool=self._pool, order=order)
+
+    def matmul_many(self, H: HMatrix, W, order: str = "batched",
+                    q_chunk: int = DEFAULT_Q_CHUNK):
+        """Evaluate ``H @ W`` for a wide or many-panel right-hand side.
+
+        A single ``(N, Q)`` array is streamed through column chunks of at
+        most ``q_chunk`` so each pass's panels stay cache-resident, and the
+        result is returned as one ``(N, Q)`` array. Any other iterable is
+        treated as a stream of independent right-hand-side panels and a
+        list of results is returned. Chunking happens once, inside the
+        selected evaluator — ``q_chunk`` is honored exactly.
+        """
+        if isinstance(W, np.ndarray):
+            return H.matmul(W, pool=self._pool, order=order, q_chunk=q_chunk)
+        return [self.matmul_many(H, w, order=order, q_chunk=q_chunk) for w in W]
 
     def close(self) -> None:
         if self._pool is not None:
@@ -52,3 +77,10 @@ def matmul(H: HMatrix, W: np.ndarray, num_threads: int | None = None,
         with Executor(num_threads) as ex:
             return ex.matmul(H, W, order=order)
     return H.matmul(W, order=order)
+
+
+def matmul_many(H: HMatrix, W, num_threads: int | None = None,
+                order: str = "batched", q_chunk: int = DEFAULT_Q_CHUNK):
+    """Multi-RHS streaming evaluation (see :meth:`Executor.matmul_many`)."""
+    with Executor(num_threads) as ex:
+        return ex.matmul_many(H, W, order=order, q_chunk=q_chunk)

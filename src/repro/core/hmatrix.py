@@ -8,7 +8,7 @@ between the user's point order and the internal tree order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -25,6 +25,8 @@ class HMatrix:
     cds: CDSMatrix
     evaluator: GeneratedEvaluator
     metadata: dict = field(default_factory=dict)
+    _batched: GeneratedEvaluator | None = field(default=None, repr=False)
+    _batched_built: bool = field(default=False, repr=False)
 
     @property
     def factors(self) -> Factors:
@@ -60,12 +62,32 @@ class HMatrix:
         return self.cds.far_blockset
 
     # ------------------------------------------------------------- evaluation
-    def matmul(self, W: np.ndarray, pool=None, order: str = "original") -> np.ndarray:
+    @property
+    def batched_evaluator(self) -> GeneratedEvaluator | None:
+        """The bucketed batched-GEMM evaluator, or None when the cost model
+        rejected batch lowering (low bucket occupancy). Compiled lazily on
+        first use and cached — the inspector already paid for the structure
+        analysis, so this is just table gathering + one ``compile``.
+        """
+        if not self._batched_built:
+            self._batched_built = True
+            if self.evaluator.decision.batch:
+                from repro.codegen.emit import generate_batched_evaluator
+                self._batched = generate_batched_evaluator(self.cds)
+        return self._batched
+
+    def matmul(self, W: np.ndarray, pool=None, order: str = "original",
+               q_chunk: int | None = None) -> np.ndarray:
         """``Y = K~ @ W`` with the generated specialized code.
 
         ``order="original"`` (default) treats W rows as being in the user's
         input point order and returns Y in the same order; ``order="tree"``
-        skips both permutations (internal/benchmark use).
+        skips both permutations (internal/benchmark use); ``order="batched"``
+        is ``"original"`` executed by the bucketed batched-GEMM engine,
+        falling back to the per-block code (with ``pool``) when the cost
+        model rejected batch lowering. ``q_chunk`` overrides the selected
+        evaluator's streaming panel width (the single chunking layer —
+        callers never chunk on top of it).
         """
         W = np.ascontiguousarray(W, dtype=np.float64)
         squeeze = W.ndim == 1
@@ -77,14 +99,24 @@ class HMatrix:
                 f"{self.dim}"
             )
         if order == "tree":
-            Y = self.evaluator(W, pool=pool)
-        elif order == "original":
+            ev = self.evaluator
+        elif order in ("original", "batched"):
+            ev = self.evaluator
+            if order == "batched" and self.batched_evaluator is not None:
+                ev = self.batched_evaluator
+        else:
+            raise ValueError(
+                f"order must be 'original', 'tree', or 'batched', got {order!r}"
+            )
+        if q_chunk is not None and ev.q_chunk != q_chunk:
+            ev = replace(ev, q_chunk=q_chunk)
+        if order == "tree":
+            Y = ev(W, pool=pool)
+        else:
             perm = self.tree.perm
-            Y_tree = self.evaluator(W[perm], pool=pool)
+            Y_tree = ev(W[perm], pool=pool)
             Y = np.empty_like(Y_tree)
             Y[perm] = Y_tree
-        else:
-            raise ValueError(f"order must be 'original' or 'tree', got {order!r}")
         return Y[:, 0] if squeeze else Y
 
     def __matmul__(self, W: np.ndarray) -> np.ndarray:
@@ -122,5 +154,6 @@ class HMatrix:
                 "block_far": self.evaluator.decision.block_far,
                 "coarsen": self.evaluator.decision.coarsen,
                 "peel_root": self.evaluator.decision.peel_root,
+                "batch": self.evaluator.decision.batch,
             },
         }

@@ -135,6 +135,8 @@ def _decision_manifest(d: LoweringDecision) -> dict:
         "far_block_threshold": d.far_block_threshold,
         "coarsen_threshold": d.coarsen_threshold,
         "reasons": list(d.reasons),
+        "batch": d.batch,
+        "batch_threshold": d.batch_threshold,
     }
 
 
@@ -146,6 +148,8 @@ def _decision_from_manifest(m) -> LoweringDecision:
         far_block_threshold=int(m["far_block_threshold"]),
         coarsen_threshold=int(m["coarsen_threshold"]),
         reasons=tuple(m.get("reasons", ())),
+        batch=bool(m.get("batch", False)),
+        batch_threshold=float(m.get("batch_threshold", 2.0)),
     )
 
 

@@ -20,6 +20,7 @@ from repro.runtime.tasks import (
     Task,
     gofmm_taskgraph,
     levelbylevel_phases,
+    matrox_batched_phases,
     matrox_phases,
 )
 from repro.runtime.trace import cds_trace, treebased_trace
@@ -37,6 +38,7 @@ __all__ = [
     "Task",
     "Phase",
     "matrox_phases",
+    "matrox_batched_phases",
     "gofmm_taskgraph",
     "levelbylevel_phases",
     "simulate_phases",

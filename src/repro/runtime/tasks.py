@@ -6,6 +6,9 @@ the unit the machine simulator executes:
 * :func:`matrox_phases`       — the static schedule of the generated code:
   blocked parallel-for phases, coarsen-level phases with pre-assigned
   sub-trees, and a peeled parallel-BLAS phase;
+* :func:`matrox_batched_phases` — the schedule of the bucketed batched-GEMM
+  executor: every loop collapses into a few fat BLAS kernels (row panels
+  for the reduction loops, shape buckets per tree level for the sweeps);
 * :func:`gofmm_taskgraph`     — a dependency task graph consumed by a
   dynamic (central-queue) scheduler, the GOFMM execution model;
 * :func:`levelbylevel_phases` — barrier-per-tree-level phases with atomic
@@ -223,6 +226,61 @@ def matrox_phases(cds: CDSMatrix, q: int, decision=None) -> list[Phase]:
                                 [[t] for t in tasks], atomic_per_task=True))
 
     phases.extend(down_phases)
+    return phases
+
+
+# --------------------------------------------------------------------------
+# MatRox batched (bucketed batched-GEMM) phases.
+# --------------------------------------------------------------------------
+
+def matrox_batched_phases(cds: CDSMatrix, q: int,
+                          q_chunk: int | None = None) -> list[Phase]:
+    """Phases of the batched executor for one evaluation.
+
+    Each reduction loop prices as one "blas" phase (its row-panel GEMMs are
+    fat, layout-insensitive kernels), and each tree level prices one "blas"
+    phase per shape bucket — mirroring exactly the kernel launches the
+    generated batched code performs. ``q_chunk`` repeats the schedule per
+    streamed column chunk, charging the extra barriers the streaming loop
+    pays in exchange for cache-resident panels.
+    """
+    if q_chunk and q > q_chunk:
+        n_full, rem = divmod(q, q_chunk)
+        chunk_phases = matrox_batched_phases(cds, q_chunk)
+        out = []
+        for _ in range(n_full):
+            out.extend(chunk_phases)
+        if rem:
+            out.extend(matrox_batched_phases(cds, rem))
+        return out
+
+    factors = cds.factors
+    phases: list[Phase] = []
+
+    near_pairs = cds.near_visit_order() or sorted(factors.near_blocks)
+    if near_pairs:
+        units = [[_near_task(factors, i, j, q) for (i, j) in near_pairs]]
+        phases.append(Phase("near-batched", "blas", units))
+
+    levels = cds.basis_level_buckets()
+    for idx, level in enumerate(levels):
+        for bucket in level:
+            units = [[_basis_task(factors, v, q, "up") for v in bucket.keys]]
+            phases.append(Phase(
+                f"up-batched[{idx}][{bucket.kind}"
+                f"{bucket.shape[0]}x{bucket.shape[1]}]", "blas", units))
+
+    far_pairs = cds.far_visit_order() or sorted(factors.coupling)
+    if far_pairs:
+        units = [[_coupling_task(factors, i, j, q) for (i, j) in far_pairs]]
+        phases.append(Phase("coupling-batched", "blas", units))
+
+    for idx, level in enumerate(reversed(levels)):
+        for bucket in level:
+            units = [[_basis_task(factors, v, q, "down") for v in bucket.keys]]
+            phases.append(Phase(
+                f"down-batched[{idx}][{bucket.kind}"
+                f"{bucket.shape[0]}x{bucket.shape[1]}]", "blas", units))
     return phases
 
 

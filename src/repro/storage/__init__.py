@@ -8,7 +8,8 @@ the paper compares against: one separately-allocated array per submatrix in
 tree-construction order.
 """
 
-from repro.storage.cds import CDSMatrix, build_cds
+from repro.storage.cds import CDSMatrix, ShapeBucket, build_cds
 from repro.storage.treebased import TreeBasedStorage, build_treebased
 
-__all__ = ["CDSMatrix", "build_cds", "TreeBasedStorage", "build_treebased"]
+__all__ = ["CDSMatrix", "ShapeBucket", "build_cds", "TreeBasedStorage",
+           "build_treebased"]

@@ -12,6 +12,12 @@ Offsets are derived from sranks/block sizes, so a generator is addressed as
 ``buf[offset[key] : offset[key] + rows*cols].reshape(rows, cols)`` — these
 reshapes are NumPy views into the flat buffer, never copies, preserving the
 format's locality in the executor.
+
+On top of the flat buffers the CDS also exposes *shape buckets*: generators
+grouped by ``(rows, cols)`` in visit order, each bucket carrying the buffer
+offsets of its members so the batched executor can gather one
+``(batch, rows, cols)`` stack and run a single stacked GEMM per bucket
+instead of one small GEMM per generator (see DESIGN.md section 3).
 """
 
 from __future__ import annotations
@@ -22,6 +28,33 @@ import numpy as np
 
 from repro.analysis.structure_sets import BlockSet, CoarsenSet
 from repro.compression.factors import Factors
+
+
+@dataclass
+class ShapeBucket:
+    """Generators of one ``(rows, cols)`` shape, in visit order.
+
+    ``keys`` are node ids (basis buckets) or ``(i, j)`` pairs (near/far
+    buckets); ``offsets[b]`` is the flat-buffer offset of ``keys[b]``. The
+    gather indices are derived, not stored: member ``b`` occupies
+    ``buf[offsets[b] : offsets[b] + rows*cols]``. ``kind`` distinguishes
+    leaf from interior basis buckets (their batched ops differ).
+    """
+
+    shape: tuple[int, int]
+    keys: list
+    offsets: np.ndarray
+    kind: str = ""
+
+    @property
+    def batch(self) -> int:
+        return len(self.keys)
+
+    def gather(self, buf: np.ndarray) -> np.ndarray:
+        """Stack the bucket's generators as one ``(batch, rows, cols)`` array."""
+        rows, cols = self.shape
+        idx = self.offsets[:, None] + np.arange(rows * cols)
+        return buf[idx].reshape(self.batch, rows, cols)
 
 
 @dataclass
@@ -74,6 +107,74 @@ class CDSMatrix:
     def total_bytes(self) -> int:
         return self.basis_buf.nbytes + self.near_buf.nbytes + self.far_buf.nbytes
 
+    # ---------------------------------------------------------- shape buckets
+    def near_buckets(self) -> list[ShapeBucket]:
+        """Near (D) generators bucketed by block shape, in visit order."""
+        t = self.tree
+        return _bucketize(
+            self.near_visit_order(),
+            lambda p: (t.node_size(p[0]), t.node_size(p[1])),
+            self.near_offset,
+        )
+
+    def far_buckets(self) -> list[ShapeBucket]:
+        """Far (B) generators bucketed by coupling shape, in visit order."""
+        srank = self.factors.srank
+        return _bucketize(
+            self.far_visit_order(),
+            lambda p: (srank(p[0]), srank(p[1])),
+            self.far_offset,
+        )
+
+    def basis_nodes(self) -> list[int]:
+        """All non-root nodes carrying a basis generator, post-ordered."""
+        return [
+            v for v in self.tree.postorder()
+            if v != 0 and self.factors.srank(v) > 0
+        ]
+
+    def basis_level_buckets(self) -> list[list[ShapeBucket]]:
+        """Basis (V/E) buckets per tree level, deepest level first.
+
+        Within a level, leaf and interior generators land in separate
+        buckets (``kind`` is ``"leaf"`` or ``"interior"``): a leaf op reads
+        point rows of W/Y while an interior op reads the children's
+        skeleton rows, so they cannot share a stacked GEMM. Level grouping
+        preserves the only real dependency (parent after children), letting
+        the batched sweep replace the coarsen-set schedule wholesale.
+        """
+        t = self.tree
+        by_level: dict[int, list[int]] = {}
+        for v in self.basis_nodes():
+            by_level.setdefault(int(t.level[v]), []).append(v)
+        out: list[list[ShapeBucket]] = []
+        for lvl in sorted(by_level, reverse=True):
+            nodes = by_level[lvl]
+            leaves = [v for v in nodes if t.is_leaf(v)]
+            interior = [v for v in nodes if not t.is_leaf(v)]
+            buckets = _bucketize(leaves, self.basis_shape.__getitem__,
+                                 self.basis_offset, kind="leaf")
+            buckets += _bucketize(interior, self.basis_shape.__getitem__,
+                                  self.basis_offset, kind="interior")
+            out.append(buckets)
+        return out
+
+    def bucket_occupancy(self) -> float:
+        """Mean generators per shape bucket.
+
+        High occupancy means few stacked GEMMs cover many generators, so
+        batching amortises its gather/scatter; occupancy near 1 means the
+        shapes are all distinct and batching degenerates to the serial
+        loop. (The lowering gate uses the related, pre-CDS
+        :func:`repro.codegen.lowering.batch_occupancy` fusion signal.)
+        """
+        buckets = self.near_buckets() + self.far_buckets()
+        for level in self.basis_level_buckets():
+            buckets += level
+        if not buckets:
+            return 0.0
+        return sum(b.batch for b in buckets) / len(buckets)
+
     # ------------------------------------------------------------ trace hooks
     def basis_visit_order(self) -> list[int]:
         """Node ids in upward-pass (coarsenset) visit order."""
@@ -84,6 +185,22 @@ class CDSMatrix:
 
     def far_visit_order(self) -> list[tuple[int, int]]:
         return self.far_blockset.all_interactions()
+
+
+def _bucketize(keys, shape_of, offsets, kind: str = "") -> list[ShapeBucket]:
+    """Group ``keys`` by shape, preserving visit order inside each bucket."""
+    grouped: dict[tuple[int, int], list] = {}
+    for k in keys:
+        grouped.setdefault(tuple(shape_of(k)), []).append(k)
+    return [
+        ShapeBucket(
+            shape=shape,
+            keys=members,
+            offsets=np.asarray([offsets[k] for k in members], dtype=np.intp),
+            kind=kind,
+        )
+        for shape, members in grouped.items()
+    ]
 
 
 def build_cds(
