@@ -16,7 +16,8 @@ Run:  python examples/kernel_regression.py
 
 import numpy as np
 
-from repro import get_kernel, inspector
+from repro import KernelOperator, PlanConfig, get_kernel
+from repro import conjugate_gradient as repro_cg
 from repro.datasets import clustered_gaussian_points
 
 
@@ -57,11 +58,14 @@ def main() -> None:
     )
 
     # --- HMatrix-accelerated -------------------------------------------------
-    H = inspector(X, kernel=kernel, structure="h2-b", budget=0.05,
-                  bacc=1e-7, leaf_size=64, seed=0)
-    alpha_h, it_h = conjugate_gradient(
-        lambda v: H.matmul(v) + lam * v, y
-    )
+    # The regularized system is a composed operator, K~ + lam*I, handed to
+    # the library CG directly — no hand-rolled apply_A closure.
+    plan = PlanConfig(structure="h2-b", budget=0.05, bacc=1e-7,
+                      leaf_size=64, seed=0)
+    K_op = KernelOperator.from_points(X, kernel=kernel, plan=plan)
+    res = repro_cg(K_op.shifted(lam), y, tol=1e-10, max_iter=200)
+    alpha_h, it_h = res.x, res.iterations
+    H = K_op.hmatrix
 
     train_err_dense = np.linalg.norm(K @ alpha_dense + lam * alpha_dense - y)
     train_err_h = np.linalg.norm(K @ alpha_h + lam * alpha_h - y)

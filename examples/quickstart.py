@@ -11,7 +11,14 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import get_kernel, inspector, matmul, relative_error
+from repro import (
+    PlanConfig,
+    Session,
+    get_kernel,
+    inspector,
+    matmul,
+    relative_error,
+)
 
 
 def main() -> None:
@@ -50,6 +57,19 @@ def main() -> None:
     flops_h = H.evaluation_flops(128)
     print(f"evaluation flops: {flops_h/1e6:.1f} MF vs dense "
           f"{flops_dense/1e6:.1f} MF ({flops_dense/flops_h:.1f}x fewer)")
+
+    # --- the same workflow, session-style ----------------------------------
+    # A Session caches inspection by content fingerprint (points + plan):
+    # the second operator request below reuses the cached plan outright.
+    plan = PlanConfig(structure="h2-geometric", tau=tau, bacc=bacc,
+                      leaf_size=64, seed=0)
+    with Session(plan=plan, num_threads=4) as session:
+        K = session.operator(points, kernel=kfunc)   # lazy: nothing runs yet
+        Y2 = K @ W                                   # first product inspects
+        _ = session.operator(points, kernel=kfunc) @ W   # cache hit
+        print(f"\nsession: {session.cache_info()}")
+        print(f"session result matches one-shot path: "
+              f"{np.allclose(Y, Y2, atol=1e-12)}")
 
 
 if __name__ == "__main__":

@@ -14,10 +14,32 @@ Quickstart
 >>> W = np.random.default_rng(1).random((2000, 16))
 >>> Y = matmul(H, W)          # approximates K @ W
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-figure reproductions.
+The typed API layer (``repro.api``) makes inspect-once/execute-many
+first-class: a :class:`Session` caches inspection plans by content
+fingerprint and hands out composable :class:`KernelOperator` facades
+(``K + lam * I`` is an object solvers consume directly).
+
+>>> from repro import PlanConfig, Session
+>>> with Session(plan=PlanConfig(leaf_size=64)) as session:
+...     K = session.operator(points, kernel="gaussian")
+...     Y2 = K @ W                     # same product, cached plan
+>>> bool(np.allclose(Y, Y2, atol=1e-12))
+True
+
+See DESIGN.md for the system inventory (section 6 covers the API layer)
+and EXPERIMENTS.md for the paper-figure reproductions.
 """
 
+from repro.api import (
+    DEFAULT_POLICY,
+    ExecutionPolicy,
+    IdentityOperator,
+    KernelOperator,
+    LinearOperator,
+    PlanConfig,
+    Session,
+    aslinearoperator,
+)
 from repro.compression.compressor import CompressionResult, compress
 from repro.core.accuracy import overall_accuracy, relative_error
 from repro.core.executor import Executor, matmul, matmul_many
@@ -32,6 +54,7 @@ from repro.core.inspector import (
 from repro.core.io import (
     load_hmatrix,
     load_inspection_p1,
+    load_operator,
     save_hmatrix,
     save_inspection_p1,
 )
@@ -44,9 +67,17 @@ from repro.solvers import (
     power_iteration,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "PlanConfig",
+    "ExecutionPolicy",
+    "DEFAULT_POLICY",
+    "Session",
+    "KernelOperator",
+    "LinearOperator",
+    "IdentityOperator",
+    "aslinearoperator",
     "inspector",
     "inspector_p1",
     "inspector_p2",
@@ -67,6 +98,7 @@ __all__ = [
     "table1_rows",
     "save_hmatrix",
     "load_hmatrix",
+    "load_operator",
     "save_inspection_p1",
     "load_inspection_p1",
     "KernelRidgeRegression",

@@ -1,0 +1,69 @@
+"""Public API layer: typed plans, one execution policy, composable operators.
+
+This package is the user-facing surface of the MatRox reproduction
+(DESIGN.md section 6):
+
+* :class:`~repro.api.plan.PlanConfig` — every inspector knob, validated;
+* :class:`~repro.api.policy.ExecutionPolicy` / :data:`DEFAULT_POLICY` —
+  the single way execution knobs (order, threads, q_chunk) travel;
+* :class:`~repro.api.operator.KernelOperator` — a lazy, composable
+  linear-operator facade over :class:`~repro.core.hmatrix.HMatrix`;
+* :class:`~repro.api.session.Session` — thread-pool executor + LRU plan
+  cache making inspect-once/execute-many automatic across requests.
+
+The legacy free functions (``inspector``, ``matmul``, ``matmul_many``)
+remain as thin shims over this layer.
+
+``plan`` and ``policy`` are import-light and loaded eagerly; ``operator``
+and ``session`` pull in the core machinery and are resolved lazily (PEP
+562) so core modules can import the policy without a cycle.
+"""
+
+from repro.api.plan import PlanConfig
+from repro.api.policy import (
+    DEFAULT_POLICY,
+    DEFAULT_Q_CHUNK,
+    ExecutionPolicy,
+    resolve_policy,
+)
+
+__all__ = [
+    "PlanConfig",
+    "ExecutionPolicy",
+    "DEFAULT_POLICY",
+    "DEFAULT_Q_CHUNK",
+    "resolve_policy",
+    "KernelOperator",
+    "LinearOperator",
+    "IdentityOperator",
+    "DenseOperator",
+    "aslinearoperator",
+    "as_apply",
+    "Session",
+    "SessionStats",
+    "points_fingerprint",
+]
+
+_LAZY = {
+    "KernelOperator": "repro.api.operator",
+    "LinearOperator": "repro.api.operator",
+    "IdentityOperator": "repro.api.operator",
+    "DenseOperator": "repro.api.operator",
+    "aslinearoperator": "repro.api.operator",
+    "as_apply": "repro.api.operator",
+    "Session": "repro.api.session",
+    "SessionStats": "repro.api.session",
+    "points_fingerprint": "repro.api.session",
+}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        import importlib
+
+        return getattr(importlib.import_module(_LAZY[name]), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

@@ -1,0 +1,317 @@
+"""Composable linear operators over compressed kernel matrices.
+
+:class:`KernelOperator` is the lazy linear-operator facade over
+:class:`~repro.core.hmatrix.HMatrix`: it supports ``@``, ``.T``,
+``alpha * K``, ``K + beta * I``, and the ``shape``/``dtype``/``matvec``/
+``matmat`` duck-typing contract of ``scipy.sparse.linalg.aslinearoperator``
+(without requiring scipy). Solvers consume these composed operators —
+``K + lam * N * I`` is an object, not a hand-rolled closure — so the same
+inspected HMatrix serves every downstream algorithm.
+
+Operators are cheap views: composition never materializes matrices, and a
+lazy :class:`KernelOperator` defers inspection until the first product
+(or an explicit :meth:`KernelOperator.materialize`), which lets a
+:class:`~repro.api.session.Session` hand out operators for free and pay
+for inspection only when — and if — the operator is applied.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+from repro.api.plan import PlanConfig
+from repro.api.policy import ExecutionPolicy, resolve_policy
+from repro.core.hmatrix import HMatrix
+
+
+class LinearOperator:
+    """Minimal composable linear-operator algebra.
+
+    Subclasses implement ``_apply(W, policy)`` for a 2-D ``W`` and expose
+    ``shape``; everything else (``@``, 1-D handling, scaling, sums,
+    transpose, ``matvec``/``matmat`` duck typing) is derived here.
+    """
+
+    shape: tuple[int, int]
+    dtype = np.dtype(np.float64)
+
+    def _apply(self, W: np.ndarray,
+               policy: ExecutionPolicy | None) -> np.ndarray:
+        raise NotImplementedError
+
+    def _transpose(self) -> "LinearOperator":
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a transpose"
+        )
+
+    # ------------------------------------------------------------ application
+    def matmul(self, W, policy: ExecutionPolicy | None = None) -> np.ndarray:
+        """``Y = A @ W`` for a vector ``(N,)`` or panel ``(N, Q)``."""
+        W = np.ascontiguousarray(W, dtype=np.float64)
+        squeeze = W.ndim == 1
+        if squeeze:
+            W = W[:, None]
+        if W.shape[0] != self.shape[1]:
+            raise ValueError(
+                f"W has {W.shape[0]} rows but the operator shape is "
+                f"{self.shape}"
+            )
+        Y = self._apply(W, policy)
+        return Y[:, 0] if squeeze else Y
+
+    def __matmul__(self, W) -> np.ndarray:
+        return self.matmul(W)
+
+    # scipy.sparse.linalg-style duck typing ---------------------------------
+    def matvec(self, v) -> np.ndarray:
+        return self.matmul(v)
+
+    def matmat(self, W) -> np.ndarray:
+        return self.matmul(W)
+
+    def rmatvec(self, v) -> np.ndarray:
+        return self.T.matmul(v)
+
+    def dense(self) -> np.ndarray:
+        """Materialize the operator (validation / small N only)."""
+        return self.matmul(np.eye(self.shape[1]))
+
+    # ------------------------------------------------------------ composition
+    @property
+    def T(self) -> "LinearOperator":
+        return self._transpose()
+
+    def __mul__(self, alpha) -> "LinearOperator":
+        if not isinstance(alpha, numbers.Number):
+            return NotImplemented
+        return ScaledOperator(self, float(alpha))
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinearOperator":
+        return ScaledOperator(self, -1.0)
+
+    def __add__(self, other) -> "LinearOperator":
+        if not isinstance(other, LinearOperator):
+            return NotImplemented
+        return SumOperator(self, other)
+
+    def __sub__(self, other) -> "LinearOperator":
+        if not isinstance(other, LinearOperator):
+            return NotImplemented
+        return SumOperator(self, ScaledOperator(other, -1.0))
+
+    def shifted(self, beta: float) -> "LinearOperator":
+        """``A + beta * I`` — the ridge/Tikhonov composition."""
+        return ShiftedOperator(self, float(beta))
+
+
+class IdentityOperator(LinearOperator):
+    """``I`` of order ``n`` (combine as ``beta * IdentityOperator(n)``)."""
+
+    def __init__(self, n: int):
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self.shape = (n, n)
+
+    def _apply(self, W, policy):
+        return W.copy()
+
+    def _transpose(self):
+        return self
+
+
+class DenseOperator(LinearOperator):
+    """A plain ndarray behind the operator interface (tests, references)."""
+
+    def __init__(self, A: np.ndarray):
+        A = np.asarray(A, dtype=np.float64)
+        if A.ndim != 2:
+            raise ValueError(f"A must be 2-D, got shape {A.shape}")
+        self.A = A
+        self.shape = A.shape
+
+    def _apply(self, W, policy):
+        return self.A @ W
+
+    def _transpose(self):
+        return DenseOperator(self.A.T)
+
+
+class ScaledOperator(LinearOperator):
+    """``alpha * A`` without materializing anything."""
+
+    def __init__(self, base: LinearOperator, alpha: float):
+        self.base = base
+        self.alpha = float(alpha)
+        self.shape = base.shape
+
+    def _apply(self, W, policy):
+        return self.alpha * self.base._apply(W, policy)
+
+    def _transpose(self):
+        return ScaledOperator(self.base.T, self.alpha)
+
+    def __mul__(self, alpha):
+        if not isinstance(alpha, numbers.Number):
+            return NotImplemented
+        return ScaledOperator(self.base, self.alpha * float(alpha))
+
+    __rmul__ = __mul__
+
+
+class ShiftedOperator(LinearOperator):
+    """``A + beta * I`` fused into one pass.
+
+    Equivalent to ``A + beta * IdentityOperator(n)`` but without the
+    intermediate identity copy and scale — it stays allocation-lean inside
+    solver hot loops (one extra axpy per application, like the closures it
+    replaces).
+    """
+
+    def __init__(self, base: LinearOperator, beta: float):
+        self.base = base
+        self.beta = float(beta)
+        self.shape = base.shape
+
+    def _apply(self, W, policy):
+        return self.base._apply(W, policy) + self.beta * W
+
+    def _transpose(self):
+        return ShiftedOperator(self.base.T, self.beta)
+
+
+class SumOperator(LinearOperator):
+    """``A + B`` applied term-wise (one product per term)."""
+
+    def __init__(self, left: LinearOperator, right: LinearOperator):
+        if left.shape != right.shape:
+            raise ValueError(
+                f"operator shapes differ: {left.shape} vs {right.shape}"
+            )
+        self.left = left
+        self.right = right
+        self.shape = left.shape
+
+    def _apply(self, W, policy):
+        return self.left._apply(W, policy) + self.right._apply(W, policy)
+
+    def _transpose(self):
+        return SumOperator(self.left.T, self.right.T)
+
+
+class KernelOperator(LinearOperator):
+    """Linear-operator facade over an (optionally not-yet-built) HMatrix.
+
+    Two ways in:
+
+    * ``KernelOperator(H)`` wraps an already-inspected
+      :class:`~repro.core.hmatrix.HMatrix`;
+    * :meth:`KernelOperator.from_points` captures ``(points, kernel, plan)``
+      and defers the inspection until the first product — through the
+      owning :class:`~repro.api.session.Session`'s plan cache when bound
+      to one, so repeated operators over the same points skip phase 1.
+
+    Kernel operators are symmetric (the compressed approximation of a
+    symmetric kernel), so ``.T`` returns the operator itself.
+    """
+
+    def __init__(self, hmatrix: HMatrix,
+                 policy: ExecutionPolicy | None = None,
+                 _session=None):
+        self._hmatrix: HMatrix | None = hmatrix
+        self.policy = policy
+        self._session = _session
+        self._points = None
+        self._kernel = None
+        self._plan: PlanConfig | None = None
+        if hmatrix is not None:
+            self.shape = hmatrix.shape
+
+    @classmethod
+    def from_points(cls, points, kernel="gaussian",
+                    plan: PlanConfig | None = None,
+                    policy: ExecutionPolicy | None = None,
+                    session=None) -> "KernelOperator":
+        """Lazy operator: inspection runs on first use, not construction."""
+        op = cls(None, policy=policy, _session=session)
+        op._points = np.ascontiguousarray(points, dtype=np.float64)
+        op._kernel = kernel
+        op._plan = plan if plan is not None else PlanConfig()
+        n = len(op._points)
+        op.shape = (n, n)
+        return op
+
+    # ---------------------------------------------------------------- laziness
+    @property
+    def materialized(self) -> bool:
+        """True once the backing HMatrix has been inspected/fetched."""
+        return self._hmatrix is not None
+
+    @property
+    def hmatrix(self) -> HMatrix:
+        """The backing HMatrix, inspecting on first access."""
+        if self._hmatrix is None:
+            if self._session is not None:
+                self._hmatrix = self._session.inspect(
+                    self._points, kernel=self._kernel, plan=self._plan
+                )
+            else:
+                self._hmatrix = self._plan.to_inspector().run(
+                    self._points, self._kernel
+                )
+        return self._hmatrix
+
+    def materialize(self) -> "KernelOperator":
+        """Force inspection now (returns self for chaining)."""
+        self.hmatrix
+        return self
+
+    # -------------------------------------------------------------- application
+    def _apply(self, W, policy):
+        policy = resolve_policy(policy or self.policy)
+        if self._session is not None:
+            return self._session.matmul(self.hmatrix, W, policy=policy)
+        return self.hmatrix.matmul(W, order=policy.order,
+                                   q_chunk=policy.q_chunk)
+
+    def _transpose(self):
+        return self
+
+    # --------------------------------------------------------------- reporting
+    def summary(self) -> dict:
+        return self.hmatrix.summary()
+
+    def __repr__(self) -> str:
+        state = "materialized" if self.materialized else "lazy"
+        return (f"KernelOperator(shape={getattr(self, 'shape', None)}, "
+                f"{state})")
+
+
+def aslinearoperator(A) -> LinearOperator:
+    """Coerce an HMatrix / ndarray / operator to a :class:`LinearOperator`."""
+    if isinstance(A, LinearOperator):
+        return A
+    if isinstance(A, HMatrix):
+        return KernelOperator(A)
+    if isinstance(A, np.ndarray):
+        return DenseOperator(A)
+    raise TypeError(f"cannot interpret {type(A).__name__} as a LinearOperator")
+
+
+def as_apply(A):
+    """Normalize an operator-or-callable to a mat-vec/mat-mat callable.
+
+    Solvers accept either a bare callable (the legacy contract) or anything
+    with ``@`` — a :class:`LinearOperator`, an HMatrix, or an ndarray.
+    """
+    if callable(A) and not isinstance(A, LinearOperator):
+        return A
+    if hasattr(A, "__matmul__"):
+        return lambda W: A @ W
+    raise TypeError(
+        f"expected a callable or matmul-capable operator, got "
+        f"{type(A).__name__}"
+    )

@@ -1,0 +1,184 @@
+"""Plan configuration: every inspector knob, typed, validated, documented.
+
+:class:`PlanConfig` replaces the old ``**config`` kwargs soup that flowed
+into :class:`repro.core.inspector.Inspector`: a frozen dataclass whose
+constructor rejects invalid values up front (instead of failing deep inside
+tree construction or lowering) and whose instances are hashable, so a
+:class:`~repro.api.session.Session` can key its plan cache on them.
+
+The fields mirror the paper's inspector parameters; the split between
+*phase-1* knobs (tree, admissibility, sampling, blocking — everything that
+depends only on the points) and *phase-2* knobs (accuracy, coarsening,
+lowering — everything that depends on the kernel/accuracy) is what makes
+the Section 5 inspection-reuse path cacheable: two plans with equal
+:meth:`p1_fingerprint` share phase-1 artifacts even when their phase-2
+settings differ.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import numbers
+import os
+from dataclasses import dataclass, field, fields, replace
+
+#: Admissibility structures understood by ``make_admissibility``.
+VALID_STRUCTURES = (
+    "hss", "h2", "h2-geometric", "geometric", "h2-b", "h2-budget", "budget",
+)
+
+#: Cluster-tree construction methods understood by ``build_cluster_tree``.
+VALID_TREE_METHODS = ("auto", "kdtree", "twomeans")
+
+#: Fields consumed by phase-1 inspection (points-only work). Plans equal on
+#: these share tree / interaction / sampling / blocking artifacts.
+_P1_FIELDS = (
+    "structure", "tau", "budget", "leaf_size", "sampling_size",
+    "tree_method", "seed", "near_blocksize", "far_blocksize",
+)
+
+
+def _default_p() -> int:
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class PlanConfig:
+    """Validated inspection plan (the paper's inspector parameters).
+
+    Parameters
+    ----------
+    structure:
+        HMatrix structure / admissibility flavour: ``"h2-geometric"``
+        (default, geometric tau-admissibility), ``"hss"`` (weak
+        admissibility), or ``"h2-b"`` (GOFMM-style budget rule); aliases
+        ``"h2"``/``"geometric"`` and ``"h2-budget"``/``"budget"`` are
+        accepted.
+    tau:
+        Geometric admissibility parameter in (0, 1]; larger admits more
+        far-field pairs (paper default 0.65).
+    budget:
+        Near-field budget fraction in [0, 1] for ``"h2-b"`` (paper default
+        0.03).
+    bacc:
+        Block approximation accuracy for the low-rank sweep (phase 2).
+    leaf_size:
+        Cluster-tree leaf capacity.
+    sampling_size:
+        Far-field sampling panel size per node.
+    max_rank:
+        Rank cap for skeletonization.
+    agg:
+        Coarsening aggregation factor (levels merged per coarsen step).
+    p:
+        Target partition count for load balancing (defaults to physical
+        cores).
+    near_blocksize / far_blocksize:
+        Blocking factors for the near/far interaction loops.
+    coarsen_threshold / block_threshold / far_block_threshold:
+        Lowering-decision thresholds (``None`` lets the cost model pick).
+    low_level:
+        Allow low-level (per-block) code generation.
+    tree_method:
+        ``"auto"`` (kd-tree for d <= 3, two-means otherwise), ``"kdtree"``,
+        or ``"twomeans"``.
+    seed:
+        Seed for tree construction and sampling.
+    """
+
+    structure: str = "h2-geometric"
+    tau: float = 0.65
+    budget: float = 0.03
+    bacc: float = 1e-5
+    leaf_size: int = 64
+    sampling_size: int = 32
+    max_rank: int = 256
+    agg: int = 2
+    p: int = field(default_factory=_default_p)
+    near_blocksize: int = 2
+    far_blocksize: int = 4
+    coarsen_threshold: int = 4
+    block_threshold: int | None = None
+    far_block_threshold: int | None = None
+    low_level: bool = True
+    tree_method: str = "auto"
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.structure not in VALID_STRUCTURES:
+            raise ValueError(
+                f"unknown structure {self.structure!r}; must be one of "
+                f"{VALID_STRUCTURES}"
+            )
+        if self.tree_method not in VALID_TREE_METHODS:
+            raise ValueError(
+                f"tree_method must be one of {VALID_TREE_METHODS}, "
+                f"got {self.tree_method!r}"
+            )
+        if not 0.0 < self.tau <= 1.0:
+            raise ValueError(f"tau must be in (0, 1], got {self.tau}")
+        if not 0.0 <= self.budget <= 1.0:
+            raise ValueError(f"budget must be in [0, 1], got {self.budget}")
+        if self.bacc <= 0.0:
+            raise ValueError(f"bacc must be positive, got {self.bacc}")
+        for name in ("leaf_size", "sampling_size", "max_rank", "agg", "p",
+                     "near_blocksize", "far_blocksize"):
+            v = getattr(self, name)
+            if not isinstance(v, numbers.Integral) or v < 1:
+                raise ValueError(f"{name} must be an integer >= 1, got {v!r}")
+        if self.coarsen_threshold < 0:
+            raise ValueError(
+                f"coarsen_threshold must be >= 0, got {self.coarsen_threshold}"
+            )
+        for name in ("block_threshold", "far_block_threshold"):
+            v = getattr(self, name)
+            if v is not None and v < 0:
+                raise ValueError(f"{name} must be >= 0 or None, got {v!r}")
+
+    # ----------------------------------------------------------- construction
+    @classmethod
+    def from_kwargs(cls, **config) -> "PlanConfig":
+        """Build a plan from loose keyword arguments (the legacy path).
+
+        Unknown keys raise a ``TypeError`` naming the valid knobs, which is
+        the validation the old ``Inspector(**config)`` path deferred to
+        dataclass internals.
+        """
+        valid = {f.name for f in fields(cls)}
+        unknown = sorted(set(config) - valid)
+        if unknown:
+            raise TypeError(
+                f"unknown plan option(s) {unknown}; valid options: "
+                f"{sorted(valid)}"
+            )
+        return cls(**config)
+
+    def replace(self, **changes) -> "PlanConfig":
+        """A copy with the given fields changed (re-validated)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------ fingerprints
+    def _digest(self, names) -> str:
+        payload = repr([(n, getattr(self, n)) for n in names])
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def p1_fingerprint(self) -> str:
+        """Content key of the phase-1 (points-only) knobs.
+
+        Two plans with equal ``p1_fingerprint`` produce identical trees,
+        interaction lists, sampling plans, and blocksets for the same
+        points, so their phase-1 inspection is interchangeable.
+        """
+        return self._digest(_P1_FIELDS)
+
+    def fingerprint(self) -> str:
+        """Content key over every knob (phase 1 + phase 2)."""
+        return self._digest(sorted(f.name for f in fields(self)))
+
+    # -------------------------------------------------------------- execution
+    def to_inspector(self):
+        """The equivalent :class:`repro.core.inspector.Inspector`."""
+        from repro.core.inspector import Inspector
+
+        return Inspector(**{f.name: getattr(self, f.name)
+                            for f in fields(self)})

@@ -1,0 +1,106 @@
+"""Execution policy: the single way evaluation knobs travel.
+
+Before this layer existed, execution knobs were scattered — ``order=`` /
+``pool=`` / ``num_threads=`` / ``q_chunk=`` keyword arguments with
+*inconsistent* defaults (``matmul`` defaulted to ``"original"`` while
+``matmul_many`` defaulted to ``"batched"``). :class:`ExecutionPolicy`
+replaces that: one frozen, validated object carried from the CLI, a
+:class:`~repro.api.session.Session`, an :class:`~repro.core.executor.Executor`,
+or a solver down to :meth:`HMatrix.matmul`.
+
+There is exactly one documented default, :data:`DEFAULT_POLICY`:
+
+* ``order="batched"`` — the bucketed batched-GEMM engine, which falls back
+  bit-compatibly to the per-block code whenever the cost model rejected
+  batch lowering, so it is a strict superset of the old ``"original"``
+  default;
+* ``num_threads=None`` — serial (no thread pool);
+* ``q_chunk=None`` — the generated evaluator's own streaming panel width
+  (:data:`DEFAULT_Q_CHUNK` columns), the cache-sized chunking the codegen
+  already selected.
+
+This module is intentionally dependency-free (stdlib only) so that core
+modules can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Streaming panel width used when a policy does not override ``q_chunk``:
+#: 256 float64 columns over a typical leaf keeps one pass's W/Y/T/S working
+#: set inside the last-level cache (see DESIGN.md section 3).
+DEFAULT_Q_CHUNK = 256
+
+#: The evaluation orders an :class:`ExecutionPolicy` may request.
+VALID_ORDERS = ("batched", "original", "tree")
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How an HMatrix product is executed (not *what* is computed).
+
+    Parameters
+    ----------
+    order:
+        ``"batched"`` (default) evaluates through the bucketed batched-GEMM
+        engine, falling back to the per-block code when the cost model
+        rejected batch lowering; ``"original"`` forces the per-block code;
+        both treat W rows as being in the user's input point order.
+        ``"tree"`` skips the permutations (internal/benchmark use).
+    num_threads:
+        Worker threads for the per-block code path. ``None`` or 1 runs
+        serially. NumPy's BLAS releases the GIL inside GEMM, so block tasks
+        overlap on real cores.
+    q_chunk:
+        Streaming panel width (columns per pass) override. ``None`` keeps
+        the generated evaluator's own cache-sized width.
+    """
+
+    order: str = "batched"
+    num_threads: int | None = None
+    q_chunk: int | None = None
+
+    def __post_init__(self):
+        if self.order not in VALID_ORDERS:
+            raise ValueError(
+                f"order must be one of {VALID_ORDERS}, got {self.order!r}"
+            )
+        if self.num_threads is not None and self.num_threads < 1:
+            raise ValueError(
+                f"num_threads must be >= 1, got {self.num_threads}"
+            )
+        if self.q_chunk is not None and self.q_chunk < 1:
+            raise ValueError(f"q_chunk must be >= 1, got {self.q_chunk}")
+
+    def merged(self, order: str | None = None,
+               num_threads: int | None = None,
+               q_chunk: int | None = None) -> "ExecutionPolicy":
+        """This policy with any explicitly-given knobs overriding it."""
+        updates = {}
+        if order is not None:
+            updates["order"] = order
+        if num_threads is not None:
+            updates["num_threads"] = num_threads
+        if q_chunk is not None:
+            updates["q_chunk"] = q_chunk
+        return replace(self, **updates) if updates else self
+
+
+#: The one documented default execution policy (see module docstring).
+DEFAULT_POLICY = ExecutionPolicy()
+
+
+def resolve_policy(policy: ExecutionPolicy | None = None,
+                   order: str | None = None,
+                   num_threads: int | None = None,
+                   q_chunk: int | None = None) -> ExecutionPolicy:
+    """Fold loose keyword knobs and an optional policy into one policy.
+
+    Explicit keywords win over ``policy``, which wins over
+    :data:`DEFAULT_POLICY`. This is the single resolution rule every entry
+    point (free functions, ``Executor``, ``Session``, CLI) uses.
+    """
+    return (policy or DEFAULT_POLICY).merged(
+        order=order, num_threads=num_threads, q_chunk=q_chunk
+    )

@@ -1,0 +1,205 @@
+"""Session: inspect-once / execute-many as an object.
+
+A :class:`Session` owns the two things the inspector-executor contract
+needs to amortise work across requests:
+
+* a thread-pool :class:`~repro.core.executor.Executor` (created from the
+  session's :class:`~repro.api.policy.ExecutionPolicy`), so repeated
+  evaluations reuse worker threads; and
+* an LRU **plan cache** keyed by content fingerprints — the SHA-256 of the
+  points buffer plus the :class:`~repro.api.plan.PlanConfig` fingerprint —
+  holding both phase-1 inspection artifacts and finished HMatrices.
+
+``session.operator(points, kernel=..., plan=...)`` therefore makes the
+paper's Section 5 reuse paths automatic: a repeated request with identical
+points and plan skips phase-1 inspection entirely (P1 reuse), and a
+request that only changes the kernel or block accuracy re-runs phase 2
+against the cached phase-1 artifacts (P2 reuse). :attr:`Session.stats`
+counts builds and cache hits so the reuse is observable, not assumed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.api.operator import KernelOperator
+from repro.api.plan import PlanConfig
+from repro.api.policy import ExecutionPolicy, resolve_policy
+from repro.core.executor import Executor
+from repro.core.hmatrix import HMatrix
+from repro.kernels.base import Kernel, get_kernel
+
+
+def points_fingerprint(points: np.ndarray) -> str:
+    """Content hash of a point set (dtype-normalized buffer + shape)."""
+    pts = np.ascontiguousarray(points, dtype=np.float64)
+    h = hashlib.sha256()
+    h.update(str(pts.shape).encode())
+    h.update(pts.tobytes())
+    return h.hexdigest()[:16]
+
+
+@dataclass
+class SessionStats:
+    """Counters proving (or disproving) inspection reuse."""
+
+    p1_builds: int = 0
+    p1_hits: int = 0
+    p2_builds: int = 0
+    hmatrix_hits: int = 0
+    evaluations: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class _LRU:
+    """Tiny ordered-dict LRU (no locking: sessions are per-thread owners)."""
+
+    def __init__(self, maxsize: int):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        if key not in self._data:
+            return None
+        self._data.move_to_end(key)
+        return self._data[key]
+
+    def put(self, key, value):
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class Session:
+    """Reusable inspect-once/execute-many context.
+
+    Parameters
+    ----------
+    plan:
+        Default :class:`PlanConfig` for operators created by this session
+        (per-call ``plan=`` overrides it).
+    policy:
+        Default :class:`ExecutionPolicy`; its ``num_threads`` sizes the
+        session's thread pool.
+    num_threads:
+        Shorthand override for ``policy.num_threads``.
+    p1_cache_size / hmatrix_cache_size:
+        LRU capacities for phase-1 artifacts and finished HMatrices.
+
+    Use as a context manager (or call :meth:`close`) to release the pool.
+    """
+
+    def __init__(self, plan: PlanConfig | None = None,
+                 policy: ExecutionPolicy | None = None,
+                 num_threads: int | None = None,
+                 p1_cache_size: int = 8,
+                 hmatrix_cache_size: int = 16):
+        self.plan = plan if plan is not None else PlanConfig()
+        self.policy = resolve_policy(policy, num_threads=num_threads)
+        self._executor = Executor(num_threads=self.policy.num_threads)
+        self._p1_cache = _LRU(p1_cache_size)
+        self._h_cache = _LRU(hmatrix_cache_size)
+        self.stats = SessionStats()
+
+    # ------------------------------------------------------------- inspection
+    def _resolve_plan(self, plan, bacc) -> PlanConfig:
+        plan = plan if plan is not None else self.plan
+        if not isinstance(plan, PlanConfig):
+            raise TypeError(
+                f"plan must be a PlanConfig, got {type(plan).__name__}"
+            )
+        return plan.replace(bacc=bacc) if bacc is not None else plan
+
+    def inspect(self, points, kernel: Kernel | str = "gaussian",
+                plan: PlanConfig | None = None,
+                bacc: float | None = None) -> HMatrix:
+        """Cached inspection: points + kernel + plan -> HMatrix.
+
+        Cache discipline (cheapest sufficient work wins):
+
+        1. identical points/plan/kernel -> cached HMatrix, nothing runs;
+        2. identical points + phase-1 knobs -> cached phase-1 artifacts,
+           only phase 2 (compression, coarsening, layout, codegen) runs;
+        3. otherwise -> full inspection, both caches are populated.
+        """
+        plan = self._resolve_plan(plan, bacc)
+        if isinstance(kernel, str):
+            kernel = get_kernel(kernel)
+        pfp = points_fingerprint(points)
+
+        h_key = (pfp, plan.fingerprint(), kernel.identity())
+        H = self._h_cache.get(h_key)
+        if H is not None:
+            self.stats.hmatrix_hits += 1
+            return H
+
+        p1_key = (pfp, plan.p1_fingerprint())
+        inspector = plan.to_inspector()
+        p1 = self._p1_cache.get(p1_key)
+        if p1 is None:
+            p1 = inspector.run_p1(points)
+            self._p1_cache.put(p1_key, p1)
+            self.stats.p1_builds += 1
+        else:
+            self.stats.p1_hits += 1
+
+        H = inspector.run_p2(p1, kernel)
+        self.stats.p2_builds += 1
+        self._h_cache.put(h_key, H)
+        return H
+
+    def operator(self, points, kernel: Kernel | str = "gaussian",
+                 plan: PlanConfig | None = None,
+                 bacc: float | None = None,
+                 policy: ExecutionPolicy | None = None) -> KernelOperator:
+        """A lazy :class:`KernelOperator` bound to this session.
+
+        Construction is free; the first product (or ``.materialize()``)
+        routes through :meth:`inspect`, hitting the plan cache when the
+        same points+plan were seen before.
+        """
+        plan = self._resolve_plan(plan, bacc)
+        return KernelOperator.from_points(
+            points, kernel=kernel, plan=plan,
+            policy=policy if policy is not None else self.policy,
+            session=self,
+        )
+
+    # -------------------------------------------------------------- execution
+    def matmul(self, H: HMatrix, W, policy: ExecutionPolicy | None = None,
+               **overrides) -> np.ndarray:
+        """``Y = H @ W`` through the session's pool and policy."""
+        policy = resolve_policy(policy or self.policy, **overrides)
+        self.stats.evaluations += 1
+        return self._executor.matmul(H, W, policy=policy)
+
+    # -------------------------------------------------------------- lifecycle
+    def cache_info(self) -> dict:
+        """Occupancy + hit counters (for logs and tests)."""
+        return {
+            "p1_entries": len(self._p1_cache),
+            "hmatrix_entries": len(self._h_cache),
+            **self.stats.as_dict(),
+        }
+
+    def close(self) -> None:
+        self._executor.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

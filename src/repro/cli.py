@@ -5,7 +5,8 @@ Mirrors the paper's inspector/executor workflow as a tool:
 * ``inspect``  — points in, ``hmat.npz`` out (compression + structure
   analysis + codegen), optionally saving the reusable p1 artifacts;
 * ``evaluate`` — load an ``hmat.npz``, multiply with a dense matrix file
-  (or random W), write/report Y;
+  (or random W) under an execution policy (``--order``, ``--threads``,
+  ``--q-chunk``), write/report Y;
 * ``info``     — print the structural summary of a stored HMatrix;
 * ``datasets`` — regenerate Table 1 / emit a synthetic dataset to .npy.
 """
@@ -18,7 +19,9 @@ import time
 
 import numpy as np
 
-from repro.core.inspector import Inspector
+from repro.api.plan import PlanConfig
+from repro.api.policy import VALID_ORDERS, resolve_policy
+from repro.core.executor import Executor
 from repro.core.io import (
     load_hmatrix,
     load_inspection_p1,
@@ -60,17 +63,27 @@ def _make_kernel(args):
     return get_kernel(args.kernel)
 
 
-def _make_inspector(args) -> Inspector:
-    return Inspector(structure=args.structure, tau=args.tau,
-                     budget=args.budget, bacc=args.bacc,
-                     leaf_size=args.leaf_size, max_rank=args.max_rank,
-                     sampling_size=args.sampling_size, seed=args.seed)
+def _make_plan(args) -> PlanConfig:
+    return PlanConfig(structure=args.structure, tau=args.tau,
+                      budget=args.budget, bacc=args.bacc,
+                      leaf_size=args.leaf_size, max_rank=args.max_rank,
+                      sampling_size=args.sampling_size, seed=args.seed)
+
+
+def _add_policy_args(p: argparse.ArgumentParser) -> None:
+    """Execution-policy flags (resolve against the shared default)."""
+    p.add_argument("--order", default=None, choices=list(VALID_ORDERS),
+                   help="evaluation engine/order (default: batched)")
+    p.add_argument("--threads", type=int, default=None,
+                   help="thread-pool workers for the per-block code")
+    p.add_argument("--q-chunk", type=int, default=None,
+                   help="streaming panel width (columns per pass)")
 
 
 def cmd_inspect(args) -> int:
     points = _load_points(args.points, args.n, args.seed)
     kernel = _make_kernel(args)
-    insp = _make_inspector(args)
+    insp = _make_plan(args).to_inspector()
 
     t0 = time.perf_counter()
     if args.reuse_p1:
@@ -100,12 +113,17 @@ def cmd_evaluate(args) -> int:
         W = np.load(args.w)
     else:
         W = np.random.default_rng(args.seed).random((H.dim, args.q))
-    t0 = time.perf_counter()
-    Y = H.matmul(W)
-    dt = time.perf_counter() - t0
+    policy = resolve_policy(order=args.order, num_threads=args.threads,
+                            q_chunk=args.q_chunk)
+    with Executor(policy=policy) as ex:
+        t0 = time.perf_counter()
+        Y = ex.matmul(H, W)
+        dt = time.perf_counter() - t0
     gf = H.evaluation_flops(W.shape[1] if W.ndim == 2 else 1) / dt / 1e9
     print(f"evaluated Y = H @ W  (N={H.dim}, Q="
-          f"{W.shape[1] if W.ndim == 2 else 1}) in {dt:.3f}s ({gf:.2f} GF/s)")
+          f"{W.shape[1] if W.ndim == 2 else 1}, order={policy.order}"
+          f"{f', threads={policy.num_threads}' if policy.num_threads else ''}"
+          f") in {dt:.3f}s ({gf:.2f} GF/s)")
     if args.output:
         np.save(args.output, Y)
         print(f"Y -> {args.output}")
@@ -164,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="random W columns when --w is not given")
     p.add_argument("-o", "--output", default=None, help="store Y as .npy")
     p.add_argument("--seed", type=int, default=0)
+    _add_policy_args(p)
     p.set_defaults(fn=cmd_evaluate)
 
     p = sub.add_parser("info", help="summarise a stored HMatrix")

@@ -10,7 +10,7 @@ from repro.core.inspector import (
     inspector_p1,
     inspector_p2,
 )
-from repro.core.executor import Executor, matmul
+from repro.core.executor import Executor, matmul, matmul_many
 
 __all__ = [
     "evaluate_reference",
@@ -24,4 +24,5 @@ __all__ = [
     "inspector_p2",
     "Executor",
     "matmul",
+    "matmul_many",
 ]

@@ -5,11 +5,13 @@ additionally owns a thread pool so repeated evaluations (the common case the
 inspector amortises against) reuse worker threads. NumPy's BLAS releases the
 GIL inside GEMM, so sub-tree and block tasks overlap on real cores.
 
-``order="batched"`` routes the evaluation through the bucketed batched-GEMM
-engine (one stacked GEMM per CDS shape bucket; see DESIGN.md section 3),
-falling back to the thread-pool per-block code when the cost model rejected
-batch lowering. :func:`matmul_many` streams wide or many-panel right-hand
-sides through cache-sized column chunks.
+All execution knobs travel as one :class:`~repro.api.policy.ExecutionPolicy`
+(order, num_threads, q_chunk). There is a single documented default,
+:data:`~repro.api.policy.DEFAULT_POLICY` (``order="batched"``): the bucketed
+batched-GEMM engine (one stacked GEMM per CDS shape bucket; see DESIGN.md
+section 3), falling back to the thread-pool per-block code when the cost
+model rejected batch lowering. :func:`matmul_many` streams wide or
+many-panel right-hand sides through cache-sized column chunks.
 """
 
 from __future__ import annotations
@@ -18,44 +20,66 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from repro.api.policy import (
+    DEFAULT_Q_CHUNK,
+    ExecutionPolicy,
+    resolve_policy,
+)
 from repro.core.hmatrix import HMatrix
 
-# Default streaming panel width: 256 float64 columns over a typical leaf
-# keeps one pass's W/Y/T/S working set inside the last-level cache.
-DEFAULT_Q_CHUNK = 256
+__all__ = ["Executor", "matmul", "matmul_many", "DEFAULT_Q_CHUNK"]
 
 
 class Executor:
-    """Reusable evaluation context with an optional thread pool."""
+    """Reusable evaluation context with an optional thread pool.
 
-    def __init__(self, num_threads: int | None = None):
+    ``Executor(num_threads=4)`` keeps the legacy shorthand;
+    ``Executor(policy=ExecutionPolicy(...))`` carries every knob at once.
+    An explicit ``num_threads`` overrides the policy's.
+    """
+
+    def __init__(self, num_threads: int | None = None,
+                 policy: ExecutionPolicy | None = None):
         """``num_threads=None`` or 1 runs serially (no pool)."""
-        if num_threads is not None and num_threads < 1:
-            raise ValueError(f"num_threads must be >= 1, got {num_threads}")
-        self.num_threads = num_threads
+        self.policy = resolve_policy(policy, num_threads=num_threads)
+        self.num_threads = self.policy.num_threads
         self._pool = (
-            ThreadPoolExecutor(max_workers=num_threads)
-            if num_threads and num_threads > 1
+            ThreadPoolExecutor(max_workers=self.num_threads)
+            if self.num_threads and self.num_threads > 1
             else None
         )
 
-    def matmul(self, H: HMatrix, W: np.ndarray, order: str = "original") -> np.ndarray:
-        return H.matmul(W, pool=self._pool, order=order)
+    def matmul(self, H: HMatrix, W: np.ndarray, order: str | None = None,
+               q_chunk: int | None = None,
+               policy: ExecutionPolicy | None = None) -> np.ndarray:
+        """``Y = H @ W`` under ``policy`` (explicit knobs override it)."""
+        pol = resolve_policy(policy or self.policy, order=order,
+                             q_chunk=q_chunk)
+        if self._pool is None and pol.num_threads and pol.num_threads > 1:
+            # Per-call thread request on a pool-less executor: honor it
+            # with a short-lived pool rather than silently running serial.
+            return H.matmul(W, policy=pol)
+        return H.matmul(W, pool=self._pool, order=pol.order,
+                        q_chunk=pol.q_chunk)
 
-    def matmul_many(self, H: HMatrix, W, order: str = "batched",
-                    q_chunk: int = DEFAULT_Q_CHUNK):
+    def matmul_many(self, H: HMatrix, W, order: str | None = None,
+                    q_chunk: int | None = None,
+                    policy: ExecutionPolicy | None = None):
         """Evaluate ``H @ W`` for a wide or many-panel right-hand side.
 
         A single ``(N, Q)`` array is streamed through column chunks of at
-        most ``q_chunk`` so each pass's panels stay cache-resident, and the
+        most ``q_chunk`` (the generated evaluator's cache-sized default
+        when unset) so each pass's panels stay cache-resident, and the
         result is returned as one ``(N, Q)`` array. Any other iterable is
         treated as a stream of independent right-hand-side panels and a
         list of results is returned. Chunking happens once, inside the
         selected evaluator — ``q_chunk`` is honored exactly.
         """
+        pol = resolve_policy(policy or self.policy, order=order,
+                             q_chunk=q_chunk)
         if isinstance(W, np.ndarray):
-            return H.matmul(W, pool=self._pool, order=order, q_chunk=q_chunk)
-        return [self.matmul_many(H, w, order=order, q_chunk=q_chunk) for w in W]
+            return self.matmul(H, W, policy=pol)
+        return [self.matmul_many(H, w, policy=pol) for w in W]
 
     def close(self) -> None:
         if self._pool is not None:
@@ -71,16 +95,38 @@ class Executor:
 
 
 def matmul(H: HMatrix, W: np.ndarray, num_threads: int | None = None,
-           order: str = "original") -> np.ndarray:
-    """``Y = H @ W`` — the executor entry point of the paper's Figure 2."""
-    if num_threads and num_threads > 1:
-        with Executor(num_threads) as ex:
-            return ex.matmul(H, W, order=order)
-    return H.matmul(W, order=order)
+           order: str | None = None, q_chunk: int | None = None,
+           policy: ExecutionPolicy | None = None) -> np.ndarray:
+    """``Y = H @ W`` — the executor entry point of the paper's Figure 2.
+
+    Thin shim over the policy layer: knobs resolve against
+    :data:`~repro.api.policy.DEFAULT_POLICY`.
+
+    .. versionchanged:: 1.1
+       The default ``order`` is now the shared policy default
+       (``"batched"``); it was previously ``"original"`` here while
+       :func:`matmul_many` already defaulted to ``"batched"``. The batched
+       engine falls back to the per-block code when the cost model rejected
+       batch lowering, so results only move at rounding level.
+    """
+    pol = resolve_policy(policy, order=order, num_threads=num_threads,
+                         q_chunk=q_chunk)
+    if pol.num_threads and pol.num_threads > 1:
+        with Executor(policy=pol) as ex:
+            return ex.matmul(H, W)
+    return H.matmul(W, order=pol.order, q_chunk=pol.q_chunk)
 
 
 def matmul_many(H: HMatrix, W, num_threads: int | None = None,
-                order: str = "batched", q_chunk: int = DEFAULT_Q_CHUNK):
-    """Multi-RHS streaming evaluation (see :meth:`Executor.matmul_many`)."""
-    with Executor(num_threads) as ex:
-        return ex.matmul_many(H, W, order=order, q_chunk=q_chunk)
+                order: str | None = None, q_chunk: int | None = None,
+                policy: ExecutionPolicy | None = None):
+    """Multi-RHS streaming evaluation (see :meth:`Executor.matmul_many`).
+
+    Thin shim over the policy layer; shares the single
+    :data:`~repro.api.policy.DEFAULT_POLICY` default (``order="batched"``)
+    with :func:`matmul` — the two entry points no longer disagree.
+    """
+    pol = resolve_policy(policy, order=order, num_threads=num_threads,
+                         q_chunk=q_chunk)
+    with Executor(policy=pol) as ex:
+        return ex.matmul_many(H, W)

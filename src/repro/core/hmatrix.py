@@ -8,11 +8,13 @@ between the user's point order and the internal tree order.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.analysis.structure_sets import BlockSet, CoarsenSet
+from repro.api.policy import ExecutionPolicy, resolve_policy
 from repro.codegen.emit import GeneratedEvaluator
 from repro.compression.factors import Factors
 from repro.storage.cds import CDSMatrix
@@ -76,19 +78,29 @@ class HMatrix:
                 self._batched = generate_batched_evaluator(self.cds)
         return self._batched
 
-    def matmul(self, W: np.ndarray, pool=None, order: str = "original",
-               q_chunk: int | None = None) -> np.ndarray:
+    def matmul(self, W: np.ndarray, pool=None, order: str | None = None,
+               q_chunk: int | None = None,
+               policy: "ExecutionPolicy | None" = None) -> np.ndarray:
         """``Y = K~ @ W`` with the generated specialized code.
 
-        ``order="original"`` (default) treats W rows as being in the user's
-        input point order and returns Y in the same order; ``order="tree"``
-        skips both permutations (internal/benchmark use); ``order="batched"``
-        is ``"original"`` executed by the bucketed batched-GEMM engine,
-        falling back to the per-block code (with ``pool``) when the cost
-        model rejected batch lowering. ``q_chunk`` overrides the selected
-        evaluator's streaming panel width (the single chunking layer —
-        callers never chunk on top of it).
+        Knobs resolve through one :class:`~repro.api.policy.ExecutionPolicy`
+        (explicit ``order``/``q_chunk`` win over ``policy``, which wins over
+        :data:`~repro.api.policy.DEFAULT_POLICY`). ``order="batched"`` (the
+        shared default) treats W rows as being in the user's input point
+        order and executes through the bucketed batched-GEMM engine, falling
+        back to the per-block code (with ``pool``) when the cost model
+        rejected batch lowering; ``order="original"`` forces the per-block
+        code; ``order="tree"`` skips both permutations (internal/benchmark
+        use). ``q_chunk`` overrides the selected evaluator's streaming panel
+        width (the single chunking layer — callers never chunk on top of
+        it). When no ``pool`` is given and the policy asks for threads, a
+        short-lived pool is created for this call.
         """
+        pol = resolve_policy(policy, order=order, q_chunk=q_chunk)
+        order, q_chunk = pol.order, pol.q_chunk
+        if pool is None and pol.num_threads and pol.num_threads > 1:
+            with ThreadPoolExecutor(max_workers=pol.num_threads) as tmp:
+                return self.matmul(W, pool=tmp, order=order, q_chunk=q_chunk)
         W = np.ascontiguousarray(W, dtype=np.float64)
         squeeze = W.ndim == 1
         if squeeze:

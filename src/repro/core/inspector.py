@@ -16,11 +16,11 @@ Changing the kernel and/or bacc therefore re-runs only p2 against a cached
 
 from __future__ import annotations
 
-import os
 import time
 from dataclasses import dataclass, field
 
 from repro.analysis.blocking import build_blockset
+from repro.api.plan import PlanConfig
 from repro.analysis.coarsening import build_coarsenset
 from repro.codegen.emit import generate_evaluator
 from repro.codegen.ir import build_ir
@@ -37,8 +37,10 @@ from repro.tree.build import build_cluster_tree
 from repro.tree.cluster_tree import ClusterTree
 
 
-def _default_p() -> int:
-    return os.cpu_count() or 1
+#: Process-wide phase run counters. The Session cache tests (and anyone
+#: auditing inspection reuse) read these to *prove* that a cache hit
+#: skipped the corresponding phase rather than silently re-running it.
+INSPECTION_COUNTS = {"p1": 0, "p2": 0}
 
 
 @dataclass
@@ -56,33 +58,18 @@ class InspectionP1:
         return sum(self.timings.values())
 
 
-@dataclass
-class Inspector:
+@dataclass(frozen=True)
+class Inspector(PlanConfig):
     """Configurable MatRox inspector.
 
-    Parameters mirror the paper's defaults: ``tau = 0.65`` / ``budget = 0.03``
-    admissibility, ``bacc = 1e-5``, leaf size 64, sampling size 32, max rank
-    256, ``agg = 2``, ``p`` = physical cores, near/far blocksizes 2/4,
+    The knob *schema* (fields, paper defaults, validation) is inherited
+    from :class:`~repro.api.plan.PlanConfig` — it exists exactly once —
+    and this subclass adds the phase-1/phase-2 machinery. Defaults mirror
+    the paper: ``tau = 0.65`` / ``budget = 0.03`` admissibility,
+    ``bacc = 1e-5``, leaf size 64, sampling size 32, max rank 256,
+    ``agg = 2``, ``p`` = physical cores, near/far blocksizes 2/4,
     coarsen-threshold 4, block-threshold = number of leaf nodes.
     """
-
-    structure: str = "h2-geometric"
-    tau: float = 0.65
-    budget: float = 0.03
-    bacc: float = 1e-5
-    leaf_size: int = 64
-    sampling_size: int = 32
-    max_rank: int = 256
-    agg: int = 2
-    p: int = field(default_factory=_default_p)
-    near_blocksize: int = 2
-    far_blocksize: int = 4
-    coarsen_threshold: int = 4
-    block_threshold: int | None = None
-    far_block_threshold: int | None = None
-    low_level: bool = True
-    tree_method: str = "auto"
-    seed: int = 0
 
     def _admissibility(self) -> Admissibility:
         if self.structure in ("h2", "h2-geometric", "geometric"):
@@ -94,6 +81,7 @@ class Inspector:
     # ------------------------------------------------------------------ p1
     def run_p1(self, points) -> InspectionP1:
         """Tree + interactions + sampling + blocking (kernel-independent)."""
+        INSPECTION_COUNTS["p1"] += 1
         timings: dict[str, float] = {}
         t0 = time.perf_counter()
         tree = build_cluster_tree(points, leaf_size=self.leaf_size,
@@ -121,6 +109,7 @@ class Inspector:
     def run_p2(self, p1: InspectionP1, kernel: Kernel | str,
                bacc: float | None = None) -> HMatrix:
         """Low-rank approx + coarsening + CDS layout + codegen."""
+        INSPECTION_COUNTS["p2"] += 1
         if isinstance(kernel, str):
             kernel = get_kernel(kernel)
         bacc = self.bacc if bacc is None else bacc
@@ -162,22 +151,43 @@ class Inspector:
         return self.run_p2(p1, kernel)
 
 
-# ----------------------------------------------------------------- functional
-def inspector(points, kernel: Kernel | str = "gaussian", **config) -> HMatrix:
-    """One-shot inspection: points + kernel + config -> HMatrix.
+# ------------------------------------------------------------------- shims
+# The functional entry points are thin shims over the typed API layer:
+# loose **config kwargs are validated by PlanConfig (unknown keys raise a
+# TypeError naming the valid knobs, out-of-range values raise ValueError)
+# before the equivalent Inspector runs. Passing ``plan=`` directly skips
+# the kwargs path entirely. Results are bit-identical to the old direct
+# Inspector(**config) construction.
+
+def _as_plan(plan: PlanConfig | None, config: dict) -> PlanConfig:
+    if plan is not None:
+        if config:
+            raise TypeError(
+                f"pass either plan= or loose config kwargs, not both "
+                f"(got plan and {sorted(config)})"
+            )
+        return plan
+    return PlanConfig.from_kwargs(**config)
+
+
+def inspector(points, kernel: Kernel | str = "gaussian",
+              plan: PlanConfig | None = None, **config) -> HMatrix:
+    """One-shot inspection: points + kernel + plan/config -> HMatrix.
 
     The returned HMatrix carries both the CDS-stored generators and the
     generated specialized multiplication (the paper's ``H`` and ``HMatMul``).
     """
-    return Inspector(**config).run(points, kernel)
+    return _as_plan(plan, config).to_inspector().run(points, kernel)
 
 
-def inspector_p1(points, **config) -> InspectionP1:
+def inspector_p1(points, plan: PlanConfig | None = None,
+                 **config) -> InspectionP1:
     """Phase-1 inspection (reusable across kernel/accuracy changes)."""
-    return Inspector(**config).run_p1(points)
+    return _as_plan(plan, config).to_inspector().run_p1(points)
 
 
 def inspector_p2(p1: InspectionP1, kernel: Kernel | str = "gaussian",
-                 bacc: float | None = None, **config) -> HMatrix:
+                 bacc: float | None = None, plan: PlanConfig | None = None,
+                 **config) -> HMatrix:
     """Phase-2 inspection against a cached phase-1 result."""
-    return Inspector(**config).run_p2(p1, kernel, bacc=bacc)
+    return _as_plan(plan, config).to_inspector().run_p2(p1, kernel, bacc=bacc)

@@ -157,8 +157,20 @@ def _decision_from_manifest(m) -> LoweringDecision:
 # HMatrix save / load.
 # --------------------------------------------------------------------------
 
-def save_hmatrix(H: HMatrix, path) -> Path:
-    """Store the HMatrix (CDS buffers + structure) to ``path`` (.npz)."""
+def save_hmatrix(H, path) -> Path:
+    """Store an HMatrix (CDS buffers + structure) to ``path`` (.npz).
+
+    Also accepts a :class:`~repro.api.operator.KernelOperator`, whose
+    backing HMatrix is materialized (inspecting if still lazy) and stored;
+    the compressed content round-trips bit-exactly either way.
+    """
+    if not isinstance(H, HMatrix) and hasattr(H, "hmatrix"):
+        H = H.hmatrix  # KernelOperator (or any facade exposing .hmatrix)
+    if not isinstance(H, HMatrix):
+        raise TypeError(
+            f"expected an HMatrix or an operator backed by one, got "
+            f"{type(H).__name__ if H is not None else None}"
+        )
     path = Path(path)
     factors = H.factors
     tree = H.tree
@@ -251,6 +263,19 @@ def load_hmatrix(path) -> HMatrix:
     evaluator = generate_evaluator(cds, decision=decision)
     return HMatrix(cds=cds, evaluator=evaluator,
                    metadata=dict(manifest.get("metadata", {})))
+
+
+def load_operator(path, policy=None):
+    """Load a stored HMatrix as a composable KernelOperator facade.
+
+    Convenience for executor-side processes: the loaded operator supports
+    ``@``, scaling, and ``+ beta * I`` directly (see
+    :mod:`repro.api.operator`), with ``policy`` as its bound execution
+    policy.
+    """
+    from repro.api.operator import KernelOperator
+
+    return KernelOperator(load_hmatrix(path), policy=policy)
 
 
 # --------------------------------------------------------------------------

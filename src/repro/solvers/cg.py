@@ -1,4 +1,10 @@
-"""Conjugate gradient on a black-box SPD operator."""
+"""Conjugate gradient on a black-box SPD operator.
+
+The operator may be a bare mat-vec callable (the legacy contract) or
+anything with ``@`` — a composed :class:`~repro.api.operator.LinearOperator`
+such as ``K + lam * N * I``, an HMatrix, or an ndarray. Composition
+replaces the hand-rolled ``apply_A`` closures solvers used to build.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +13,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.api.operator import LinearOperator, as_apply
 from repro.utils.validation import require
 
 
@@ -22,19 +29,20 @@ class CGResult:
 
 
 def conjugate_gradient(
-    apply_A: Callable[[np.ndarray], np.ndarray],
+    apply_A: Callable[[np.ndarray], np.ndarray] | LinearOperator,
     b: np.ndarray,
     x0: np.ndarray | None = None,
     tol: float = 1e-8,
     max_iter: int = 500,
 ) -> CGResult:
-    """Solve ``A x = b`` for SPD ``A`` given as a mat-vec callable.
+    """Solve ``A x = b`` for SPD ``A`` (mat-vec callable or operator).
 
     Supports multiple right-hand sides: ``b`` of shape (N,) or (N, Q) —
     the HMatrix product is a matrix-matrix multiply either way, which is
     exactly the workload the paper's evaluation phase accelerates.
     Convergence: ``||r||_F <= tol * ||b||_F``.
     """
+    apply_A = as_apply(apply_A)
     b = np.ascontiguousarray(b, dtype=np.float64)
     require(tol > 0, "tol must be positive")
     require(max_iter >= 1, "max_iter must be >= 1")

@@ -1,4 +1,10 @@
-"""Spectral and trace estimators driven by HMatrix products."""
+"""Spectral and trace estimators driven by HMatrix products.
+
+Both estimators accept the operator as a bare mat-vec callable (the legacy
+contract) or as anything with ``@`` — a composed
+:class:`~repro.api.operator.LinearOperator`, an HMatrix, or an ndarray —
+and ``n`` may be omitted for operators that carry their ``shape``.
+"""
 
 from __future__ import annotations
 
@@ -6,19 +12,33 @@ from typing import Callable
 
 import numpy as np
 
+from repro.api.operator import LinearOperator, as_apply
 from repro.utils.rng import as_rng
 from repro.utils.validation import require
 
 
+def _operator_dim(A, n: int | None) -> int:
+    if n is None:
+        shape = getattr(A, "shape", None)
+        if shape is None:
+            raise ValueError(
+                "n is required when the operator does not expose .shape"
+            )
+        n = int(shape[0])
+    return n
+
+
 def power_iteration(
-    apply_A: Callable[[np.ndarray], np.ndarray],
-    n: int,
+    apply_A: Callable[[np.ndarray], np.ndarray] | LinearOperator,
+    n: int | None = None,
     tol: float = 1e-6,
     max_iter: int = 200,
     seed=0,
 ) -> tuple[float, np.ndarray]:
     """Dominant eigenvalue (by magnitude) and eigenvector of a symmetric
-    operator given as a mat-vec callable."""
+    operator (mat-vec callable or composed operator)."""
+    n = _operator_dim(apply_A, n)
+    apply_A = as_apply(apply_A)
     require(n >= 1, "n must be >= 1")
     rng = as_rng(seed)
     v = rng.normal(size=n)
@@ -38,8 +58,8 @@ def power_iteration(
 
 
 def estimate_trace(
-    apply_A: Callable[[np.ndarray], np.ndarray],
-    n: int,
+    apply_A: Callable[[np.ndarray], np.ndarray] | LinearOperator,
+    n: int | None = None,
     num_probes: int = 32,
     seed=0,
 ) -> float:
@@ -49,6 +69,8 @@ def estimate_trace(
     exactly the "multiply by a large matrix" usage the paper amortises the
     inspector against.
     """
+    n = _operator_dim(apply_A, n)
+    apply_A = as_apply(apply_A)
     require(num_probes >= 1, "num_probes must be >= 1")
     rng = as_rng(seed)
     Z = rng.choice((-1.0, 1.0), size=(n, num_probes))

@@ -45,9 +45,10 @@ class TestPointValidation:
 
 class TestParameterValidation:
     def test_bad_bacc(self, points_2d):
-        insp = Inspector(bacc=-1e-5, leaf_size=32)
-        with pytest.raises(ValueError):
-            insp.run(points_2d, get_kernel("gaussian"))
+        # Validation moved up front: a bad plan fails at construction,
+        # not deep inside the compression sweep.
+        with pytest.raises(ValueError, match="bacc"):
+            Inspector(bacc=-1e-5, leaf_size=32)
 
     def test_bad_structure(self, points_2d):
         with pytest.raises(ValueError, match="unknown structure"):
