@@ -7,11 +7,7 @@ Not a paper figure — sensitivity sweeps over the parameters the paper fixes:
 * root-iteration peeling on/off.
 """
 
-import numpy as np
-import pytest
-
 from repro.analysis import build_blockset, build_coarsenset
-from repro.analysis.binpack import bin_loads
 from repro.analysis.coarsening import node_heights
 from repro.analysis.structure_sets import CoarsenLevel, CoarsenSet, SubTree
 from repro.baselines import MatRoxSystem

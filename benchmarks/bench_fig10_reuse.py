@@ -11,9 +11,8 @@ Haswell (consistent with Fig. 4); executor times from the machine simulator.
 """
 
 import numpy as np
-import pytest
 
-from repro.baselines import GOFMMBaseline, MatRoxSystem
+from repro.baselines import MatRoxSystem
 from repro.compression.compressor import CompressionResult
 from repro.datasets import dataset_names
 from repro.metrics import inspector_cost_model, simulate_inspector_seconds

@@ -11,7 +11,7 @@ datasets).
 
 import pytest
 
-from repro.baselines import GOFMMBaseline, MatRoxSystem, STRUMPACKBaseline
+from repro.baselines import MatRoxSystem
 from repro.compression.compressor import CompressionResult
 from repro.datasets import DATASETS
 from repro.metrics import inspector_cost_model, simulate_inspector_seconds
@@ -19,7 +19,6 @@ from repro.runtime import HASWELL
 
 from conftest import (
     PAPER_P,
-    bench_n,
     fmt,
     print_table,
     save_results,

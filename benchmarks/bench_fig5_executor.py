@@ -12,7 +12,7 @@ H2-b (79.2% vs 46.8% average improvement in the paper).
 import numpy as np
 import pytest
 
-from repro.baselines import GOFMMBaseline, MatRoxSystem, STRUMPACKBaseline
+from repro.baselines import MatRoxSystem
 from repro.datasets import DATASETS, dataset_names
 from repro.runtime import HASWELL
 

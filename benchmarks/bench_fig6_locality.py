@@ -10,7 +10,7 @@ format controls.
 
 import numpy as np
 
-from repro.baselines import GOFMMBaseline, MatRoxSystem
+from repro.baselines import MatRoxSystem
 from repro.datasets import dataset_names
 from repro.runtime import HASWELL, simulate_trace
 from repro.runtime.latency import average_memory_access_latency

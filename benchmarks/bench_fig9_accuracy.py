@@ -8,12 +8,11 @@ miss 1e-3 overall — and tightening bacc tightens eps_f.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.accuracy import overall_accuracy
 from repro.datasets import dataset_names
 
-from conftest import fmt, print_table, save_results
+from conftest import print_table, save_results
 
 BACCS = (1e-1, 1e-2, 1e-3, 1e-4, 1e-5)
 

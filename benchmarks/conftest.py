@@ -16,23 +16,26 @@ import json
 import os
 from pathlib import Path
 
-import numpy as np
 import pytest
 
 from repro.baselines import (
     DenseGEMM,
     GOFMMBaseline,
-    MatRoxSystem,
     SMASHBaseline,
     STRUMPACKBaseline,
 )
 from repro.core.inspector import Inspector
 from repro.datasets import DATASETS, load_dataset
 from repro.kernels import get_kernel
-from repro.runtime import HASWELL, KNL
 
 BENCH_N = int(os.environ.get("MATROX_BENCH_N", "1500"))
 BENCH_Q = int(os.environ.get("MATROX_BENCH_Q", "2048"))
+#: Wall-clock repetitions for min-of-reps timings (CI smoke sets 1).
+BENCH_REPS = int(os.environ.get("MATROX_BENCH_REPS", "10"))
+#: Quick mode (bench-smoke CI): run everything, record every JSON, but
+#: relax wall-clock *threshold* assertions — a cold two-core CI runner is
+#: not a perf machine; correctness/equivalence assertions always hold.
+BENCH_QUICK = os.environ.get("MATROX_BENCH_QUICK", "") not in ("", "0")
 RESULTS_DIR = Path(__file__).parent / "results"
 
 # The paper's default experiment configuration (Section 4.1).
@@ -92,6 +95,20 @@ def systems():
         "smash": SMASHBaseline(),
         "gemm": DenseGEMM(),
     }
+
+
+def best_seconds(fn, reps: int | None = None) -> float:
+    """Min-of-reps wall-clock (robust to scheduler noise); one warm-up."""
+    import time
+
+    reps = BENCH_REPS if reps is None else reps
+    fn()
+    times = []
+    for _ in range(max(reps, 1)):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
 
 
 def save_results(name: str, payload) -> Path:

@@ -1,0 +1,98 @@
+"""Validate benchmark result JSONs — the bench-smoke CI gate.
+
+Usage::
+
+    python benchmarks/validate_results.py [stem ...]
+
+Checks every ``benchmarks/results/*.json`` (or just the named stems,
+which must then exist): the file parses, holds at least one numeric
+value, and no number is NaN, infinite, or denormal (a denormal timing or
+speedup means a measurement collapsed to garbage rather than failing
+loudly). Exits non-zero with one line per problem.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def iter_numbers(obj, path="$"):
+    """Yield (json-path, value) for every number in a parsed JSON tree."""
+    if isinstance(obj, bool):
+        return
+    if isinstance(obj, (int, float)):
+        yield path, float(obj)
+    elif isinstance(obj, dict):
+        for key, value in obj.items():
+            yield from iter_numbers(value, f"{path}.{key}")
+    elif isinstance(obj, list):
+        for i, value in enumerate(obj):
+            yield from iter_numbers(value, f"{path}[{i}]")
+
+
+def check_file(path: Path) -> list[str]:
+    problems = []
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path.name}: unreadable/invalid JSON ({exc})"]
+    numbers = list(iter_numbers(payload))
+    if not numbers:
+        problems.append(f"{path.name}: contains no numeric results")
+    for jpath, x in numbers:
+        if math.isnan(x) or math.isinf(x):
+            problems.append(f"{path.name}: non-finite value at {jpath}: {x}")
+        elif x != 0.0 and abs(x) < sys.float_info.min:
+            problems.append(f"{path.name}: denormal value at {jpath}: {x!r}")
+    # Semantic gate for the backend-sweep artifact: a result recorded on
+    # real multi-core hardware must not ship a process backend that lost
+    # to the thread backend — that would mean the >=1.5x tentpole claim
+    # is being evidenced by a regression. (1-CPU results are exempt: no
+    # parallel speedup is physically possible there, and the JSON's
+    # cpu_count field says so.)
+    if path.name == "fig7_backend_sweep.json" and isinstance(payload, dict):
+        cpus = payload.get("cpu_count") or 0
+        ratios = payload.get("process_speedup_vs_thread") or {}
+        if cpus >= 4 and ratios:
+            workers, best = max(ratios.items(), key=lambda kv: int(kv[0]))
+            if best < 1.0:
+                problems.append(
+                    f"{path.name}: process backend slower than thread "
+                    f"({best:.2f}x at {workers} workers) despite "
+                    f"cpu_count={cpus}"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        files = []
+        problems = []
+        for stem in argv:
+            path = RESULTS_DIR / f"{stem}.json"
+            if not path.exists():
+                problems.append(f"{path.name}: required result is missing")
+            else:
+                files.append(path)
+    else:
+        problems = []
+        files = sorted(RESULTS_DIR.glob("*.json"))
+        if not files:
+            problems.append(f"no result JSONs found under {RESULTS_DIR}")
+    for path in files:
+        problems.extend(check_file(path))
+    for line in problems:
+        print(f"FAIL {line}", file=sys.stderr)
+    if not problems:
+        print(f"ok: {len(files)} result file(s) valid")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,7 @@ from repro.compression.compressor import CompressionResult, compress
 from repro.core.accuracy import overall_accuracy, relative_error
 from repro.core.executor import Executor, matmul, matmul_many
 from repro.core.hmatrix import HMatrix
+from repro.core.parallel import ProcessEngine
 from repro.core.inspector import (
     InspectionP1,
     Inspector,
@@ -85,6 +86,7 @@ __all__ = [
     "InspectionP1",
     "HMatrix",
     "Executor",
+    "ProcessEngine",
     "matmul",
     "matmul_many",
     "compress",

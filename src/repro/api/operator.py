@@ -274,8 +274,7 @@ class KernelOperator(LinearOperator):
         policy = resolve_policy(policy or self.policy)
         if self._session is not None:
             return self._session.matmul(self.hmatrix, W, policy=policy)
-        return self.hmatrix.matmul(W, order=policy.order,
-                                   q_chunk=policy.q_chunk)
+        return self.hmatrix.matmul(W, policy=policy)
 
     def _transpose(self):
         return self

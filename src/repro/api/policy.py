@@ -35,6 +35,9 @@ DEFAULT_Q_CHUNK = 256
 #: The evaluation orders an :class:`ExecutionPolicy` may request.
 VALID_ORDERS = ("batched", "original", "tree")
 
+#: The execution backends an :class:`ExecutionPolicy` may request.
+VALID_BACKENDS = ("thread", "process")
+
 
 @dataclass(frozen=True)
 class ExecutionPolicy:
@@ -48,10 +51,24 @@ class ExecutionPolicy:
         rejected batch lowering; ``"original"`` forces the per-block code;
         both treat W rows as being in the user's input point order.
         ``"tree"`` skips the permutations (internal/benchmark use).
+    backend:
+        ``"thread"`` (default) runs in-process, optionally over a thread
+        pool. ``"process"`` shards the batched engine's CDS row panels
+        across a pool of worker processes with the CDS buffers mapped via
+        ``multiprocessing.shared_memory`` (see
+        :mod:`repro.core.parallel` and DESIGN.md section 7); results are
+        bit-identical to the serial batched engine (< 1e-12 on matrices
+        where the cost model rejected batch lowering). The backend
+        applies to the batched/tree orders; ``order="original"`` names
+        the per-block code explicitly and always runs in-process.
     num_threads:
         Worker threads for the per-block code path. ``None`` or 1 runs
         serially. NumPy's BLAS releases the GIL inside GEMM, so block tasks
         overlap on real cores.
+    num_workers:
+        Worker *processes* for ``backend="process"``. ``None`` picks
+        ``os.cpu_count()``; ``0`` keeps the sharded code path but executes
+        every shard in the calling process (no pool).
     q_chunk:
         Streaming panel width (columns per pass) override. ``None`` keeps
         the generated evaluator's own cache-sized width.
@@ -60,22 +77,35 @@ class ExecutionPolicy:
     order: str = "batched"
     num_threads: int | None = None
     q_chunk: int | None = None
+    backend: str = "thread"
+    num_workers: int | None = None
 
     def __post_init__(self):
         if self.order not in VALID_ORDERS:
             raise ValueError(
                 f"order must be one of {VALID_ORDERS}, got {self.order!r}"
             )
+        if self.backend not in VALID_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {VALID_BACKENDS}, got "
+                f"{self.backend!r}"
+            )
         if self.num_threads is not None and self.num_threads < 1:
             raise ValueError(
                 f"num_threads must be >= 1, got {self.num_threads}"
+            )
+        if self.num_workers is not None and self.num_workers < 0:
+            raise ValueError(
+                f"num_workers must be >= 0, got {self.num_workers}"
             )
         if self.q_chunk is not None and self.q_chunk < 1:
             raise ValueError(f"q_chunk must be >= 1, got {self.q_chunk}")
 
     def merged(self, order: str | None = None,
                num_threads: int | None = None,
-               q_chunk: int | None = None) -> "ExecutionPolicy":
+               q_chunk: int | None = None,
+               backend: str | None = None,
+               num_workers: int | None = None) -> "ExecutionPolicy":
         """This policy with any explicitly-given knobs overriding it."""
         updates = {}
         if order is not None:
@@ -84,6 +114,10 @@ class ExecutionPolicy:
             updates["num_threads"] = num_threads
         if q_chunk is not None:
             updates["q_chunk"] = q_chunk
+        if backend is not None:
+            updates["backend"] = backend
+        if num_workers is not None:
+            updates["num_workers"] = num_workers
         return replace(self, **updates) if updates else self
 
 
@@ -94,7 +128,9 @@ DEFAULT_POLICY = ExecutionPolicy()
 def resolve_policy(policy: ExecutionPolicy | None = None,
                    order: str | None = None,
                    num_threads: int | None = None,
-                   q_chunk: int | None = None) -> ExecutionPolicy:
+                   q_chunk: int | None = None,
+                   backend: str | None = None,
+                   num_workers: int | None = None) -> ExecutionPolicy:
     """Fold loose keyword knobs and an optional policy into one policy.
 
     Explicit keywords win over ``policy``, which wins over
@@ -102,5 +138,6 @@ def resolve_policy(policy: ExecutionPolicy | None = None,
     point (free functions, ``Executor``, ``Session``, CLI) uses.
     """
     return (policy or DEFAULT_POLICY).merged(
-        order=order, num_threads=num_threads, q_chunk=q_chunk
+        order=order, num_threads=num_threads, q_chunk=q_chunk,
+        backend=backend, num_workers=num_workers,
     )

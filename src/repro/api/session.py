@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -108,7 +108,10 @@ class Session:
                  hmatrix_cache_size: int = 16):
         self.plan = plan if plan is not None else PlanConfig()
         self.policy = resolve_policy(policy, num_threads=num_threads)
-        self._executor = Executor(num_threads=self.policy.num_threads)
+        # The full policy travels into the executor so a
+        # backend="process" session owns its worker pools (torn down,
+        # with their shared-memory segments, on close()).
+        self._executor = Executor(policy=self.policy)
         self._p1_cache = _LRU(p1_cache_size)
         self._h_cache = _LRU(hmatrix_cache_size)
         self.stats = SessionStats()

@@ -15,8 +15,6 @@ ladder the paper breaks down:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.baselines.base import Baseline, BaselineRun

@@ -20,7 +20,7 @@ import time
 import numpy as np
 
 from repro.api.plan import PlanConfig
-from repro.api.policy import VALID_ORDERS, resolve_policy
+from repro.api.policy import VALID_BACKENDS, VALID_ORDERS, resolve_policy
 from repro.core.executor import Executor
 from repro.core.io import (
     load_hmatrix,
@@ -74,8 +74,14 @@ def _add_policy_args(p: argparse.ArgumentParser) -> None:
     """Execution-policy flags (resolve against the shared default)."""
     p.add_argument("--order", default=None, choices=list(VALID_ORDERS),
                    help="evaluation engine/order (default: batched)")
+    p.add_argument("--backend", default=None, choices=list(VALID_BACKENDS),
+                   help="execution backend: in-process threads (default) "
+                        "or the shared-memory process pool")
     p.add_argument("--threads", type=int, default=None,
                    help="thread-pool workers for the per-block code")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes for --backend process "
+                        "(default: cpu count)")
     p.add_argument("--q-chunk", type=int, default=None,
                    help="streaming panel width (columns per pass)")
 
@@ -114,14 +120,20 @@ def cmd_evaluate(args) -> int:
     else:
         W = np.random.default_rng(args.seed).random((H.dim, args.q))
     policy = resolve_policy(order=args.order, num_threads=args.threads,
-                            q_chunk=args.q_chunk)
+                            q_chunk=args.q_chunk, backend=args.backend,
+                            num_workers=args.workers)
     with Executor(policy=policy) as ex:
         t0 = time.perf_counter()
         Y = ex.matmul(H, W)
         dt = time.perf_counter() - t0
     gf = H.evaluation_flops(W.shape[1] if W.ndim == 2 else 1) / dt / 1e9
+    workers = ""
+    if policy.backend == "process":
+        w = "auto" if policy.num_workers is None else policy.num_workers
+        workers = f", workers={w}"
     print(f"evaluated Y = H @ W  (N={H.dim}, Q="
-          f"{W.shape[1] if W.ndim == 2 else 1}, order={policy.order}"
+          f"{W.shape[1] if W.ndim == 2 else 1}, order={policy.order}, "
+          f"backend={policy.backend}{workers}"
           f"{f', threads={policy.num_threads}' if policy.num_threads else ''}"
           f") in {dt:.3f}s ({gf:.2f} GF/s)")
     if args.output:

@@ -19,7 +19,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.analysis.structure_sets import BlockSet, CoarsenSet
+from repro.analysis.structure_sets import CoarsenSet
 from repro.codegen.ir import EvaluationIR
 from repro.codegen.lowering import LoweringDecision, decide_lowering
 from repro.storage.cds import CDSMatrix
@@ -414,7 +414,10 @@ def _row_panel_tables(pairs, row_range, col_range, blocks):
 
 def _batched_near_tables(cds: CDSMatrix):
     t = cds.tree
-    rng = lambda v: (int(t.start[v]), int(t.stop[v]))
+
+    def rng(v):
+        return (int(t.start[v]), int(t.stop[v]))
+
     blocks = {p: cds.near(*p) for p in cds.near_visit_order()}
     return _row_panel_tables(cds.near_visit_order(), rng, rng, blocks)
 
@@ -481,7 +484,10 @@ def _batched_tree_tables(cds: CDSMatrix, toff: dict[int, int]):
 
 def _batched_far_tables(cds: CDSMatrix, toff: dict[int, int]):
     srank = cds.factors.srank
-    rng = lambda v: (toff[v], toff[v] + srank(v))
+
+    def rng(v):
+        return (toff[v], toff[v] + srank(v))
+
     blocks = {p: cds.far(*p) for p in cds.far_visit_order()}
     return _row_panel_tables(cds.far_visit_order(), rng, rng, blocks)
 

@@ -6,7 +6,10 @@ sampling, and low-rank approximation together.
 
 from repro.compression.compressor import CompressionResult, compress
 from repro.compression.factors import Factors
-from repro.compression.interp_decomp import InterpolativeDecomposition, interpolative_decomposition
+from repro.compression.interp_decomp import (
+    InterpolativeDecomposition,
+    interpolative_decomposition,
+)
 from repro.compression.skeleton import skeletonize_tree
 
 __all__ = [

@@ -68,7 +68,8 @@ def skeletonize_tree(
 
         min_rows = min(2 * max_rank, max(2 * len(cand_idx), 8))
         samples = _node_sample_points(tree, plan, v, min_rows)
-        G = kernel.block(samples, points[cand_idx]) if len(samples) else np.zeros((0, len(cand_idx)))
+        G = (kernel.block(samples, points[cand_idx]) if len(samples)
+             else np.zeros((0, len(cand_idx))))
         decomp = interpolative_decomposition(G, bacc=bacc, max_rank=max_rank)
 
         skeleton[v] = cand_idx[decomp.skeleton]

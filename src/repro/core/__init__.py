@@ -11,6 +11,7 @@ from repro.core.inspector import (
     inspector_p2,
 )
 from repro.core.executor import Executor, matmul, matmul_many
+from repro.core.parallel import ProcessEngine
 
 __all__ = [
     "evaluate_reference",
@@ -23,6 +24,7 @@ __all__ = [
     "inspector_p1",
     "inspector_p2",
     "Executor",
+    "ProcessEngine",
     "matmul",
     "matmul_many",
 ]

@@ -40,7 +40,8 @@ def upward_pass(factors: Factors, W: np.ndarray) -> dict[int, np.ndarray]:
     return T
 
 
-def coupling_pass(factors: Factors, T: dict[int, np.ndarray], q: int) -> dict[int, np.ndarray]:
+def coupling_pass(factors: Factors, T: dict[int, np.ndarray],
+                  q: int) -> dict[int, np.ndarray]:
     """Far-field reduction: ``S_i += B_ij T_j`` over all far pairs."""
     S: dict[int, np.ndarray] = {}
     for (i, j), B in factors.coupling.items():

@@ -36,6 +36,11 @@ class Executor:
     ``Executor(num_threads=4)`` keeps the legacy shorthand;
     ``Executor(policy=ExecutionPolicy(...))`` carries every knob at once.
     An explicit ``num_threads`` overrides the policy's.
+
+    With ``policy.backend == "process"`` the executor owns one persistent
+    :class:`~repro.core.parallel.ProcessEngine` per HMatrix it has seen
+    (shared-memory pool, reused across ``matmul``/``matmul_many`` calls)
+    and tears them all down on :meth:`close` / context-manager exit.
     """
 
     def __init__(self, num_threads: int | None = None,
@@ -46,8 +51,37 @@ class Executor:
         self._pool = (
             ThreadPoolExecutor(max_workers=self.num_threads)
             if self.num_threads and self.num_threads > 1
+            and self.policy.backend == "thread"
             else None
         )
+        # Process engines keyed by the HMatrix identity (plus the knobs
+        # that shape the pool); populated lazily, closed with the executor.
+        # Bounded: each engine pins worker processes, a shared-memory CDS
+        # copy, AND a strong reference to its HMatrix, so an unbounded map
+        # would defeat a Session's HMatrix LRU in long-lived serving use.
+        self._engines: dict = {}
+        self._max_engines = 4
+
+    def engine_for(self, H: HMatrix,
+                   policy: ExecutionPolicy | None = None):
+        """The persistent process engine for ``H`` (created on first use).
+
+        At most ``_max_engines`` engines are kept; the least recently
+        used one is closed (workers + segments) to admit a new one.
+        """
+        from repro.core.parallel import ProcessEngine
+
+        pol = resolve_policy(policy or self.policy)
+        key = (id(H), pol.num_workers, pol.q_chunk)
+        engine = self._engines.pop(key, None)
+        if engine is None or engine.closed:
+            engine = ProcessEngine(H, num_workers=pol.num_workers,
+                                   q_chunk=pol.q_chunk)
+        self._engines[key] = engine  # re-insert = move to MRU position
+        while len(self._engines) > self._max_engines:
+            oldest = next(iter(self._engines))
+            self._engines.pop(oldest).close()
+        return engine
 
     def matmul(self, H: HMatrix, W: np.ndarray, order: str | None = None,
                q_chunk: int | None = None,
@@ -55,6 +89,11 @@ class Executor:
         """``Y = H @ W`` under ``policy`` (explicit knobs override it)."""
         pol = resolve_policy(policy or self.policy, order=order,
                              q_chunk=q_chunk)
+        if pol.backend == "process" and pol.order != "original":
+            # The process engine implements the batched lowering only;
+            # order="original" explicitly asks for the per-block code, so
+            # it wins over the backend and runs in-process.
+            return self.engine_for(H, pol).matmul(W, order=pol.order)
         if self._pool is None and pol.num_threads and pol.num_threads > 1:
             # Per-call thread request on a pool-less executor: honor it
             # with a short-lived pool rather than silently running serial.
@@ -82,9 +121,14 @@ class Executor:
         return [self.matmul_many(H, w, policy=pol) for w in W]
 
     def close(self) -> None:
+        """Shut the thread pool down and tear down every process engine
+        (worker processes + shared-memory segments). Idempotent."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        for engine in self._engines.values():
+            engine.close()
+        self._engines.clear()
 
     def __enter__(self):
         return self
@@ -111,7 +155,7 @@ def matmul(H: HMatrix, W: np.ndarray, num_threads: int | None = None,
     """
     pol = resolve_policy(policy, order=order, num_threads=num_threads,
                          q_chunk=q_chunk)
-    if pol.num_threads and pol.num_threads > 1:
+    if pol.backend == "process" or (pol.num_threads and pol.num_threads > 1):
         with Executor(policy=pol) as ex:
             return ex.matmul(H, W)
     return H.matmul(W, order=pol.order, q_chunk=pol.q_chunk)

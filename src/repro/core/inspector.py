@@ -25,7 +25,6 @@ from repro.analysis.coarsening import build_coarsenset
 from repro.codegen.emit import generate_evaluator
 from repro.codegen.ir import build_ir
 from repro.codegen.lowering import decide_lowering
-from repro.compression.compressor import compress
 from repro.compression.skeleton import skeletonize_tree
 from repro.core.hmatrix import HMatrix
 from repro.htree.admissibility import Admissibility, make_admissibility

@@ -124,10 +124,10 @@ def build_htree(tree: ClusterTree, admissibility: Admissibility | str = "h2-geom
         # representative of each unordered pair is visited to avoid double
         # work; symmetry is restored when the pair is classified.
         if a == b:
-            l, r = int(tree.lchild[a]), int(tree.rchild[a])
-            recurse(l, l)
-            recurse(l, r)
-            recurse(r, r)
+            lc, rc = int(tree.lchild[a]), int(tree.rchild[a])
+            recurse(lc, lc)
+            recurse(lc, rc)
+            recurse(rc, rc)
         elif b_leaf or (not a_leaf and tree.node_size(a) >= tree.node_size(b)):
             recurse(int(tree.lchild[a]), b)
             recurse(int(tree.rchild[a]), b)

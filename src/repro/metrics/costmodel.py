@@ -21,9 +21,10 @@ from dataclasses import dataclass
 from repro.compression.compressor import CompressionResult
 from repro.runtime.machine import MachineModel
 
-# Cost (flops) of evaluating one kernel entry for d-dimensional points:
-# distance accumulation (2d) plus the transcendental (~20).
-_KERNEL_ENTRY_FLOPS = lambda d: 2.0 * d + 20.0
+def _kernel_entry_flops(d: float) -> float:
+    # Cost (flops) of evaluating one kernel entry for d-dimensional points:
+    # distance accumulation (2d) plus the transcendental (~20).
+    return 2.0 * d + 20.0
 
 # Paper: "structure analysis and code generation in MatRox is on average 8.1
 # percent of inspection time"; we split it 60/40 between the two stages.
@@ -51,7 +52,7 @@ def inspector_cost_model(result: CompressionResult) -> InspectorCosts:
     tree = result.tree
     factors = result.factors
     n, d = tree.num_points, tree.dim
-    entry = _KERNEL_ENTRY_FLOPS(d)
+    entry = _kernel_entry_flops(d)
 
     # Tree construction: ~log2(N/leaf) passes of projection + partition.
     depth = max(tree.height, 1)

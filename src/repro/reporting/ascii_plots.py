@@ -35,7 +35,7 @@ def bar_chart(
     peak = max((max(v) for v in series.values()), default=0.0)
     if peak <= 0:
         peak = 1.0
-    label_w = max((len(l) for l in labels), default=0)
+    label_w = max((len(lab) for lab in labels), default=0)
     name_w = max(len(n) for n in series)
 
     lines: list[str] = []

@@ -14,7 +14,7 @@ relative miss ratios between layouts are what matters, not absolute rates.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -156,8 +156,8 @@ class CacheHierarchy:
     def counters(self) -> CacheCounters:
         return CacheCounters(
             accesses=self.levels[0].accesses,
-            level_hits={l.spec.name: l.hits for l in self.levels},
-            level_misses={l.spec.name: l.misses for l in self.levels},
+            level_hits={lv.spec.name: lv.hits for lv in self.levels},
+            level_misses={lv.spec.name: lv.misses for lv in self.levels},
             tlb_hits=self.tlb.hits,
             tlb_misses=self.tlb.misses,
         )

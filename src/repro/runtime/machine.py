@@ -15,7 +15,7 @@ serialises dequeues), not their absolute values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

@@ -129,7 +129,8 @@ class ClusterTree:
 
     def levels(self) -> list[np.ndarray]:
         """Node ids grouped by level, root level first."""
-        return [np.flatnonzero(self.level == l) for l in range(self.height + 1)]
+        return [np.flatnonzero(self.level == lvl)
+                for lvl in range(self.height + 1)]
 
     def postorder(self, root: int = 0) -> list[int]:
         """Post-order node ids of the subtree rooted at ``root``."""

@@ -5,7 +5,8 @@ from __future__ import annotations
 import numpy as np
 
 
-def kdtree_split(points: np.ndarray, indices: np.ndarray, rng=None) -> tuple[np.ndarray, np.ndarray]:
+def kdtree_split(points: np.ndarray, indices: np.ndarray,
+                 rng=None) -> tuple[np.ndarray, np.ndarray]:
     """Split ``indices`` at the median of the widest coordinate.
 
     Returns (left, right) index arrays with ``len(left) = ceil(m / 2)``.

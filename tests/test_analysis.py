@@ -14,7 +14,6 @@ from repro.analysis import (
 from repro.analysis.binpack import bin_loads
 from repro.analysis.coarsening import node_heights
 from repro.compression import compress
-from repro.htree import build_htree
 from repro.tree import build_cluster_tree
 
 

@@ -14,7 +14,6 @@ from repro.codegen import (
 )
 from repro.core.evaluation import evaluate_reference
 from repro.runtime.tasks import matrox_batched_phases, matrox_phases
-from repro.storage.cds import ShapeBucket
 
 
 @pytest.fixture(scope="module")

@@ -8,7 +8,7 @@ an actionable ValueError instead of a deep NumPy broadcast error.
 import numpy as np
 import pytest
 
-from repro import Inspector, get_kernel, inspector, load_hmatrix
+from repro import Inspector, inspector, load_hmatrix
 from repro.compression import interpolative_decomposition
 from repro.core.evaluation import evaluate_reference
 from repro.sampling import build_sampling_plan

@@ -1,7 +1,6 @@
 """Round-trip tests for HMatrix and InspectionP1 persistence."""
 
 import numpy as np
-import pytest
 
 from repro.core.io import (
     load_hmatrix,

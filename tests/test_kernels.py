@@ -164,8 +164,10 @@ class TestRegistry:
         assert k.bandwidth == 3.0
 
     def test_identity_equality(self):
-        assert get_kernel("gaussian", bandwidth=2.0) == get_kernel("gaussian", bandwidth=2.0)
-        assert get_kernel("gaussian", bandwidth=2.0) != get_kernel("gaussian", bandwidth=3.0)
+        assert (get_kernel("gaussian", bandwidth=2.0)
+                == get_kernel("gaussian", bandwidth=2.0))
+        assert (get_kernel("gaussian", bandwidth=2.0)
+                != get_kernel("gaussian", bandwidth=3.0))
         assert get_kernel("gaussian") != get_kernel("laplace")
 
     def test_kernels_hashable(self):

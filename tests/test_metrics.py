@@ -1,6 +1,5 @@
 """Tests for flop accounting and the inspector cost model."""
 
-import numpy as np
 import pytest
 
 from repro.compression import compress

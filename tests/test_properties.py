@@ -6,7 +6,6 @@ paper's correctness rests on.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

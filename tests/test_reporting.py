@@ -15,7 +15,7 @@ class TestBarChart:
     def test_bar_lengths_proportional(self):
         out = bar_chart(["x"], {"s": [10.0]}, width=20)
         full = bar_chart(["x", "y"], {"s": [10.0, 5.0]}, width=20)
-        lines = [l for l in full.splitlines() if "|" in l]
+        lines = [ln for ln in full.splitlines() if "|" in ln]
         n_full = lines[0].count("#")
         n_half = lines[1].count("#")
         assert n_full == 20 and n_half == 10
@@ -37,7 +37,7 @@ class TestLineChart:
 
     def test_extremes_on_grid(self):
         out = line_chart([0, 1], {"s": [0.0, 10.0]}, width=10, height=5)
-        rows = [l for l in out.splitlines() if l.strip().startswith("|")]
+        rows = [ln for ln in out.splitlines() if ln.strip().startswith("|")]
         assert any("*" in r for r in rows)
 
     def test_constant_series_ok(self):

@@ -1,6 +1,5 @@
 """Unit tests for storage-layout address traces."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import build_blockset, build_coarsenset
