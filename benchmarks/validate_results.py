@@ -66,6 +66,28 @@ def check_file(path: Path) -> list[str]:
                     f"({best:.2f}x at {workers} workers) despite "
                     f"cpu_count={cpus}"
                 )
+    # Semantic gate for the serving artifact: compile-once/serve-forever
+    # means a warm start must beat a cold start outright, and the
+    # micro-batched KernelService must clear the tentpole's >= 1.5x
+    # throughput bar at batch size >= 4. Both are algorithmic wins
+    # (skip-the-inspection, amortize-the-engine), not core-count wins,
+    # so they are enforced even on 1-CPU quick-mode runs.
+    if path.name == "serving.json" and isinstance(payload, dict):
+        cold_over_warm = payload.get("cold_over_warm")
+        if cold_over_warm is None:
+            problems.append(f"{path.name}: missing cold_over_warm field")
+        elif cold_over_warm <= 1.0:
+            problems.append(
+                f"{path.name}: warm start did not beat cold start "
+                f"({cold_over_warm:.2f}x)")
+        best = payload.get("batched_speedup_max")
+        if best is None:
+            problems.append(
+                f"{path.name}: missing batched_speedup_max field")
+        elif best < 1.5:
+            problems.append(
+                f"{path.name}: micro-batched throughput only {best:.2f}x "
+                f"sequential (tentpole gate is >= 1.5x at batch >= 4)")
     return problems
 
 

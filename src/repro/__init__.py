@@ -35,8 +35,11 @@ from repro.api import (
     ExecutionPolicy,
     IdentityOperator,
     KernelOperator,
+    KernelService,
     LinearOperator,
     PlanConfig,
+    PlanStore,
+    PlanStoreError,
     Session,
     aslinearoperator,
 )
@@ -68,13 +71,16 @@ from repro.solvers import (
     power_iteration,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "PlanConfig",
     "ExecutionPolicy",
     "DEFAULT_POLICY",
     "Session",
+    "PlanStore",
+    "PlanStoreError",
+    "KernelService",
     "KernelOperator",
     "LinearOperator",
     "IdentityOperator",

@@ -8,8 +8,13 @@ This package is the user-facing surface of the MatRox reproduction
   the single way execution knobs (order, threads, q_chunk) travel;
 * :class:`~repro.api.operator.KernelOperator` — a lazy, composable
   linear-operator facade over :class:`~repro.core.hmatrix.HMatrix`;
-* :class:`~repro.api.session.Session` — thread-pool executor + LRU plan
-  cache making inspect-once/execute-many automatic across requests.
+* :class:`~repro.api.session.Session` — thread-pool executor + tiered
+  plan store making inspect-once/execute-many automatic across requests;
+* :class:`~repro.api.store.PlanStore` — the durable, content-addressed,
+  SHA-256-integrity-checked artifact store behind a Session
+  (compile-once / serve-forever across process restarts);
+* :class:`~repro.api.service.KernelService` — a thread-safe serving
+  façade that micro-batches concurrent requests into stacked GEMMs.
 
 The legacy free functions (``inspector``, ``matmul``, ``matmul_many``)
 remain as thin shims over this layer.
@@ -42,6 +47,11 @@ __all__ = [
     "Session",
     "SessionStats",
     "points_fingerprint",
+    "PlanStore",
+    "PlanStoreError",
+    "StoreStats",
+    "KernelService",
+    "ServiceClosed",
 ]
 
 _LAZY = {
@@ -54,6 +64,11 @@ _LAZY = {
     "Session": "repro.api.session",
     "SessionStats": "repro.api.session",
     "points_fingerprint": "repro.api.session",
+    "PlanStore": "repro.api.store",
+    "PlanStoreError": "repro.api.store",
+    "StoreStats": "repro.api.store",
+    "KernelService": "repro.api.service",
+    "ServiceClosed": "repro.api.service",
 }
 
 

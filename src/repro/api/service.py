@@ -1,0 +1,340 @@
+"""KernelService: a thread-safe, micro-batching serving façade.
+
+One :class:`~repro.api.session.Session` is not a server: its caches are
+single-owner and every caller pays a full ``matmul`` per request.
+:class:`KernelService` turns it into one:
+
+* **registration** binds a ``points_id`` to a point set + kernel + plan
+  (the tenant's compiled artifact — warm-started from the session's
+  :class:`~repro.api.store.PlanStore` when one is attached);
+* **submit(points_id, W)** is safe from any thread and returns a
+  :class:`concurrent.futures.Future`;
+* a single **dispatcher thread** owns all Session access (the
+  concurrency-safe request path: callers only touch the queue) and
+  **micro-batches** compatible requests — queued requests for the same
+  HMatrix are stacked column-wise into ONE ``matmul`` call, amortizing
+  the batched-GEMM engine (and, with ``backend="process"``, the worker
+  pool) across tenants; per-request results are split back out of the
+  stacked product, bit-identical to a solo evaluation of the same
+  columns;
+* per-request **latency and queue-depth stats** (p50/p99, batch sizes)
+  make the serving behaviour observable.
+
+The protocol is documented in DESIGN.md section 8; the CLI front-end is
+``repro serve --requests`` and the benchmark is
+``benchmarks/bench_serving.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api.plan import PlanConfig
+from repro.api.policy import ExecutionPolicy
+from repro.api.session import Session
+
+__all__ = ["KernelService", "ServiceClosed"]
+
+
+class ServiceClosed(RuntimeError):
+    """Raised by submit()/register() after the service has been closed."""
+
+
+@dataclass
+class _Endpoint:
+    """A registered tenant: the immutable inputs of one compiled plan."""
+
+    points: np.ndarray
+    kernel: object
+    plan: PlanConfig
+    n: int
+
+
+@dataclass
+class _Pending:
+    """One queued request (W normalized to a 2-D column panel).
+
+    The endpoint is captured *at submit time*: re-registering a
+    points_id never reroutes requests that were validated against the
+    earlier binding.
+    """
+
+    points_id: str
+    endpoint: _Endpoint
+    W: np.ndarray
+    cols: int
+    squeeze: bool
+    future: Future
+    t_submit: float
+
+
+class KernelService:
+    """Concurrent request front-end over one Session.
+
+    Parameters
+    ----------
+    session:
+        An existing :class:`Session` to serve from (not closed on service
+        close). Omitted, the service owns a fresh one built from
+        ``store``/``plan``/``policy``/``num_threads``.
+    store:
+        Forwarded to the owned Session — a
+        :class:`~repro.api.store.PlanStore` (or directory path) so
+        registration warm-starts from compiled artifacts.
+    max_batch:
+        Most requests merged into one stacked ``matmul`` (>= 1; 1
+        disables micro-batching entirely).
+    max_wait_ms:
+        How long the dispatcher lingers for stragglers when fewer than
+        ``max_batch`` compatible requests are queued. 0 batches only
+        what is already queued.
+
+    Thread-safety contract: ``submit``/``request``/``stats`` may be
+    called from any thread; all Session/Executor access happens on the
+    dispatcher thread (plus ``register(warm=True)``/``warm()``, which
+    serialize against it with a lock).
+    """
+
+    def __init__(self, session: Session | None = None, *,
+                 store=None, plan: PlanConfig | None = None,
+                 policy: ExecutionPolicy | None = None,
+                 num_threads: int | None = None,
+                 max_batch: int = 8, max_wait_ms: float = 2.0,
+                 latency_window: int = 10_000):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self._owns_session = session is None
+        if session is None:
+            session = Session(plan=plan, policy=policy,
+                              num_threads=num_threads, store=store)
+        self.session = session
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait_ms) / 1e3
+
+        self._endpoints: dict[str, _Endpoint] = {}
+        self._queue: deque[_Pending] = deque()
+        self._cv = threading.Condition()
+        self._closed = False
+        # register()/warm() run session.inspect on caller threads; the
+        # dispatcher runs inspect+matmul. This lock serializes them.
+        self._session_lock = threading.Lock()
+
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+        self._batch_sizes: deque[int] = deque(maxlen=latency_window)
+        self._max_queue_depth = 0
+        self._served = 0
+        self._errors = 0
+
+        self._dispatcher = threading.Thread(
+            target=self._loop, name="kernel-service-dispatcher", daemon=True)
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------- endpoints
+    def register(self, points_id: str, points, kernel="gaussian",
+                 plan: PlanConfig | None = None, bacc: float | None = None,
+                 warm: bool = False) -> None:
+        """Bind ``points_id`` to a point set + kernel + plan.
+
+        ``warm=True`` inspects (or loads from the plan store) immediately,
+        so the first request pays no build latency.
+        """
+        with self._cv:
+            if self._closed:
+                raise ServiceClosed("cannot register on a closed service")
+        pts = np.ascontiguousarray(points, dtype=np.float64)
+        plan = self.session._resolve_plan(plan, bacc)
+        self._endpoints[points_id] = _Endpoint(
+            points=pts, kernel=kernel, plan=plan, n=len(pts))
+        if warm:
+            self.warm(points_id)
+
+    def warm(self, points_id: str | None = None) -> None:
+        """Materialize one endpoint (or all) now, through the plan store."""
+        ids = [points_id] if points_id is not None else list(self._endpoints)
+        for pid in ids:
+            ep = self._endpoints[pid]
+            with self._session_lock:
+                self.session.inspect(ep.points, kernel=ep.kernel,
+                                     plan=ep.plan)
+
+    def endpoints(self) -> list[str]:
+        return sorted(self._endpoints)
+
+    def shape(self, points_id: str) -> tuple[int, int]:
+        """Operator shape served under ``points_id``."""
+        ep = self._endpoints.get(points_id)
+        if ep is None:
+            raise KeyError(f"unknown points_id {points_id!r}")
+        return (ep.n, ep.n)
+
+    # -------------------------------------------------------------- requests
+    def submit(self, points_id: str, W) -> Future:
+        """Enqueue ``Y = K[points_id] @ W``; returns a Future of Y.
+
+        Safe from any thread. Shape errors raise immediately (here, not
+        in the Future); execution errors surface through the Future.
+        """
+        ep = self._endpoints.get(points_id)
+        if ep is None:
+            raise KeyError(
+                f"unknown points_id {points_id!r}; register() it first "
+                f"(known: {self.endpoints()})")
+        # Always copy: the dispatcher reads the panel asynchronously (up
+        # to max_wait_ms later), so a caller reusing its buffer after
+        # submit() must not be able to corrupt the served product.
+        W = np.array(W, dtype=np.float64, order="C", copy=True)
+        squeeze = W.ndim == 1
+        if squeeze:
+            W = W[:, None]
+        if W.ndim != 2 or W.shape[0] != ep.n:
+            raise ValueError(
+                f"W must have {ep.n} rows for {points_id!r}, got shape "
+                f"{W.shape}")
+        item = _Pending(points_id, ep, W, W.shape[1], squeeze, Future(),
+                        time.perf_counter())
+        with self._cv:
+            if self._closed:
+                raise ServiceClosed("cannot submit to a closed service")
+            self._queue.append(item)
+            self._max_queue_depth = max(self._max_queue_depth,
+                                        len(self._queue))
+            self._cv.notify()
+        return item.future
+
+    def request(self, points_id: str, W, timeout: float | None = None):
+        """Synchronous convenience: ``submit(...).result(timeout)``."""
+        return self.submit(points_id, W).result(timeout)
+
+    # ------------------------------------------------------------ dispatcher
+    def _take_batch(self) -> list[_Pending]:
+        """Pop the head request plus up to ``max_batch - 1`` queued
+        requests for the same endpoint (callers hold ``self._cv``).
+        Skipped (incompatible) requests keep their queue order."""
+        head = self._queue.popleft()
+        batch = [head]
+        if self.max_batch > 1:
+            skipped: list[_Pending] = []
+            while self._queue and len(batch) < self.max_batch:
+                item = self._queue.popleft()
+                # Same *endpoint object*, not just the same name: requests
+                # validated against a superseded registration never share
+                # a stacked product with the new one.
+                if item.endpoint is head.endpoint:
+                    batch.append(item)
+                else:
+                    skipped.append(item)
+            self._queue.extendleft(reversed(skipped))
+        return batch
+
+    def _loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._queue and not self._closed:
+                    self._cv.wait()
+                if not self._queue:
+                    return  # closed and fully drained
+                if (self.max_batch > 1 and self.max_wait > 0
+                        and not self._closed
+                        and len(self._queue) < self.max_batch):
+                    # Linger briefly so a burst coalesces into one batch.
+                    deadline = time.perf_counter() + self.max_wait
+                    while (len(self._queue) < self.max_batch
+                           and not self._closed):
+                        remaining = deadline - time.perf_counter()
+                        if remaining <= 0:
+                            break
+                        self._cv.wait(remaining)
+                batch = self._take_batch()
+            self._execute(batch)
+
+    def _execute(self, batch: list[_Pending]) -> None:
+        # Transition every future to RUNNING, dropping any the caller
+        # cancelled while queued: after this, set_result/set_exception
+        # can never raise InvalidStateError and kill the dispatcher.
+        batch = [p for p in batch
+                 if p.future.set_running_or_notify_cancel()]
+        if not batch:
+            return
+        ep = batch[0].endpoint  # submit-time binding, see _Pending
+        try:
+            with self._session_lock:
+                H = self.session.inspect(ep.points, kernel=ep.kernel,
+                                         plan=ep.plan)
+                W = (batch[0].W if len(batch) == 1
+                     else np.hstack([p.W for p in batch]))
+                Y = self.session.matmul(H, W)
+        except BaseException as exc:
+            with self._cv:
+                self._errors += len(batch)
+            for p in batch:
+                p.future.set_exception(exc)
+            return
+        done = time.perf_counter()
+        with self._cv:
+            for p in batch:
+                self._latencies.append(done - p.t_submit)
+            self._batch_sizes.append(len(batch))
+            self._served += len(batch)
+        # Resolve Futures OUTSIDE the lock: set_result runs user
+        # done-callbacks synchronously, and a blocking callback must not
+        # stall submit()/stats() or deadlock the dispatcher.
+        offset = 0
+        for p in batch:
+            y = np.ascontiguousarray(Y[:, offset:offset + p.cols])
+            offset += p.cols
+            p.future.set_result(y[:, 0] if p.squeeze else y)
+
+    # --------------------------------------------------------------- metrics
+    def stats(self) -> dict:
+        """Serving metrics: latency percentiles, batching, queue depth."""
+        with self._cv:
+            lat = np.asarray(self._latencies, dtype=float)
+            sizes = np.asarray(self._batch_sizes, dtype=float)
+            out = {
+                "served": self._served,
+                "errors": self._errors,
+                "queue_depth": len(self._queue),
+                "max_queue_depth": self._max_queue_depth,
+                "batches": int(len(sizes)),
+                "mean_batch": float(sizes.mean()) if len(sizes) else 0.0,
+                "max_batch_observed": int(sizes.max()) if len(sizes) else 0,
+            }
+        for name, q in (("p50_ms", 50), ("p99_ms", 99)):
+            out[name] = (float(np.percentile(lat, q) * 1e3)
+                         if len(lat) else 0.0)
+        out["mean_ms"] = float(lat.mean() * 1e3) if len(lat) else 0.0
+        return out
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self, timeout: float | None = None) -> None:
+        """Stop accepting requests, drain the queue, join the dispatcher.
+
+        Owned sessions (constructed by the service) are closed too;
+        borrowed ones are left running.
+        """
+        with self._cv:
+            if self._closed and not self._dispatcher.is_alive():
+                return
+            self._closed = True
+            self._cv.notify_all()
+        self._dispatcher.join(timeout)
+        # Only tear the session (pools, process engines) down once the
+        # dispatcher has actually exited — a timed-out join means a batch
+        # is still inside session.matmul.
+        if self._owns_session and not self._dispatcher.is_alive():
+            self.session.close()
+
+    def __enter__(self) -> "KernelService":
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

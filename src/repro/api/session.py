@@ -6,9 +6,15 @@ needs to amortise work across requests:
 * a thread-pool :class:`~repro.core.executor.Executor` (created from the
   session's :class:`~repro.api.policy.ExecutionPolicy`), so repeated
   evaluations reuse worker threads; and
-* an LRU **plan cache** keyed by content fingerprints — the SHA-256 of the
-  points buffer plus the :class:`~repro.api.plan.PlanConfig` fingerprint —
-  holding both phase-1 inspection artifacts and finished HMatrices.
+* a :class:`~repro.api.store.PlanStore` — the artifact cache keyed by
+  content fingerprints (the SHA-256 of the points buffer plus the
+  :class:`~repro.api.plan.PlanConfig` fingerprint) holding both phase-1
+  inspection artifacts and finished HMatrices. By default the store is
+  memory-only (two LRU tiers, the historic behaviour); pass
+  ``store=PlanStore(dir)`` (or just a directory path) and every artifact
+  is also persisted with SHA-256 integrity manifests, so a **fresh
+  process warm-starts from disk and serves its first request with zero
+  inspection** (compile-once / serve-forever).
 
 ``session.operator(points, kernel=..., plan=...)`` therefore makes the
 paper's Section 5 reuse paths automatic: a repeated request with identical
@@ -21,26 +27,94 @@ counts builds and cache hits so the reuse is observable, not assumed.
 from __future__ import annotations
 
 import hashlib
+import os
+import threading
+import weakref
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.api.operator import KernelOperator
 from repro.api.plan import PlanConfig
 from repro.api.policy import ExecutionPolicy, resolve_policy
+from repro.api.store import PlanStore
 from repro.core.executor import Executor
 from repro.core.hmatrix import HMatrix
 from repro.kernels.base import Kernel, get_kernel
 
+# --------------------------------------------------------------------------
+# Point-set fingerprinting (memoized).
+#
+# Hashing the full points buffer costs ~ O(N d) per call — measurable on
+# the serving path where every request re-fingerprints the same arrays on
+# a guaranteed cache hit. The memo is keyed on the array object's id plus
+# a cheap witness (shape, dtype, CRC of <= 32 sampled rows). Id reuse
+# after garbage collection is guarded by a weakref finalizer that drops
+# the entry when the array dies. The witness detects mutation of the
+# sampled rows (and any shape/dtype change) — NOT arbitrary single-element
+# edits: like every identity-keyed cache, the memo assumes arrays used as
+# cache keys are not mutated in place between calls. The lock makes the
+# memo safe for concurrent Sessions (e.g. KernelService registration
+# threads racing its dispatcher).
+# --------------------------------------------------------------------------
 
-def points_fingerprint(points: np.ndarray) -> str:
-    """Content hash of a point set (dtype-normalized buffer + shape)."""
+_FP_CACHE: OrderedDict = OrderedDict()
+_FP_CACHE_MAX = 256
+_FP_LOCK = threading.Lock()
+
+
+def _fp_cache_drop(key) -> None:
+    with _FP_LOCK:
+        _FP_CACHE.pop(key, None)
+
+
+def _stripe_witness(points: np.ndarray) -> tuple:
+    """Cheap content witness: CRC-32 of <= 32 evenly-sampled rows."""
+    n = len(points)
+    idx = np.linspace(0, n - 1, num=min(n, 32), dtype=np.intp)
+    sample = np.ascontiguousarray(points[idx])
+    return (points.shape, str(points.dtype), zlib.crc32(sample.tobytes()))
+
+
+def points_fingerprint(points) -> str:
+    """Content hash of a point set (dtype-normalized buffer + shape).
+
+    Memoized per array object: a repeated call with the *same ndarray*
+    skips the full-buffer SHA-256, which removes the dominant per-request
+    overhead of a guaranteed cache hit on the serving path. The memo's
+    stripe witness catches shape/dtype changes and mutation of the <= 32
+    sampled rows; a point set handed to a Session is otherwise treated as
+    immutable (mutate a copy instead to get a fresh fingerprint
+    guaranteed).
+    """
+    memoizable = isinstance(points, np.ndarray) and len(points) > 0
+    if memoizable:
+        key = id(points)
+        witness = _stripe_witness(points)
+        with _FP_LOCK:
+            hit = _FP_CACHE.get(key)
+            if hit is not None and hit[0] == witness:
+                _FP_CACHE.move_to_end(key)
+                return hit[1]
     pts = np.ascontiguousarray(points, dtype=np.float64)
     h = hashlib.sha256()
     h.update(str(pts.shape).encode())
     h.update(pts.tobytes())
-    return h.hexdigest()[:16]
+    fp = h.hexdigest()[:16]
+    if memoizable:
+        with _FP_LOCK:
+            _FP_CACHE[key] = (witness, fp)
+            _FP_CACHE.move_to_end(key)
+            while len(_FP_CACHE) > _FP_CACHE_MAX:
+                _FP_CACHE.popitem(last=False)
+        try:
+            weakref.finalize(points, _fp_cache_drop, key)
+        except TypeError:  # pragma: no cover - ndarray is weakref-able
+            pass
+    return fp
 
 
 @dataclass
@@ -57,31 +131,6 @@ class SessionStats:
         return dict(self.__dict__)
 
 
-class _LRU:
-    """Tiny ordered-dict LRU (no locking: sessions are per-thread owners)."""
-
-    def __init__(self, maxsize: int):
-        if maxsize < 1:
-            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
-        self.maxsize = maxsize
-        self._data: OrderedDict = OrderedDict()
-
-    def get(self, key):
-        if key not in self._data:
-            return None
-        self._data.move_to_end(key)
-        return self._data[key]
-
-    def put(self, key, value):
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
-
-    def __len__(self) -> int:
-        return len(self._data)
-
-
 class Session:
     """Reusable inspect-once/execute-many context.
 
@@ -96,7 +145,17 @@ class Session:
     num_threads:
         Shorthand override for ``policy.num_threads``.
     p1_cache_size / hmatrix_cache_size:
-        LRU capacities for phase-1 artifacts and finished HMatrices.
+        Memory-tier LRU capacities, forwarded to the
+        :class:`~repro.api.store.PlanStore` the session constructs when
+        ``store`` is ``None`` or a path. Passing them alongside an
+        existing ``PlanStore`` instance is a ``ValueError`` — size the
+        store itself (``PlanStore(..., memory_p1=, memory_hmatrix=)``).
+    store:
+        A :class:`~repro.api.store.PlanStore`, or a directory path to
+        open one, or ``None`` (default) for a memory-only store. With a
+        disk-backed store every inspection artifact is persisted and a
+        fresh ``Session(store=...)`` warm-starts from disk: its first
+        ``matmul`` runs with ``p1_builds == p2_builds == 0``.
 
     Use as a context manager (or call :meth:`close`) to release the pool.
     """
@@ -104,16 +163,39 @@ class Session:
     def __init__(self, plan: PlanConfig | None = None,
                  policy: ExecutionPolicy | None = None,
                  num_threads: int | None = None,
-                 p1_cache_size: int = 8,
-                 hmatrix_cache_size: int = 16):
+                 p1_cache_size: int | None = None,
+                 hmatrix_cache_size: int | None = None,
+                 store: PlanStore | str | Path | None = None):
         self.plan = plan if plan is not None else PlanConfig()
         self.policy = resolve_policy(policy, num_threads=num_threads)
+        # Resolve/validate the store BEFORE constructing the Executor: a
+        # bad argument must not leak an already-started thread/process
+        # pool (nothing would ever call close() on it).
+        if store is None or isinstance(store, (str, os.PathLike)):
+            store = PlanStore(
+                store,
+                memory_p1=8 if p1_cache_size is None else p1_cache_size,
+                memory_hmatrix=(16 if hmatrix_cache_size is None
+                                else hmatrix_cache_size),
+            )
+        elif isinstance(store, PlanStore):
+            if p1_cache_size is not None or hmatrix_cache_size is not None:
+                raise ValueError(
+                    "p1_cache_size/hmatrix_cache_size apply to the "
+                    "PlanStore the session constructs; with an existing "
+                    "store, size it directly via PlanStore(memory_p1=, "
+                    "memory_hmatrix=)"
+                )
+        else:
+            raise TypeError(
+                f"store must be a PlanStore, a directory path, or None; "
+                f"got {type(store).__name__}"
+            )
+        self.store = store
         # The full policy travels into the executor so a
         # backend="process" session owns its worker pools (torn down,
         # with their shared-memory segments, on close()).
         self._executor = Executor(policy=self.policy)
-        self._p1_cache = _LRU(p1_cache_size)
-        self._h_cache = _LRU(hmatrix_cache_size)
         self.stats = SessionStats()
 
     # ------------------------------------------------------------- inspection
@@ -132,10 +214,16 @@ class Session:
 
         Cache discipline (cheapest sufficient work wins):
 
-        1. identical points/plan/kernel -> cached HMatrix, nothing runs;
-        2. identical points + phase-1 knobs -> cached phase-1 artifacts,
+        1. identical points/plan/kernel -> stored HMatrix (memory tier,
+           else verified disk artifact), nothing runs;
+        2. identical points + phase-1 knobs -> stored phase-1 artifacts,
            only phase 2 (compression, coarsening, layout, codegen) runs;
-        3. otherwise -> full inspection, both caches are populated.
+        3. otherwise -> full inspection; both store tiers are populated
+           (and persisted, when the store is disk-backed).
+
+        A disk artifact that fails its integrity check raises
+        :class:`~repro.core.io.PlanStoreError` — the session fails closed
+        rather than serving or rebuilding over tampered bytes.
         """
         plan = self._resolve_plan(plan, bacc)
         if isinstance(kernel, str):
@@ -143,24 +231,24 @@ class Session:
         pfp = points_fingerprint(points)
 
         h_key = (pfp, plan.fingerprint(), kernel.identity())
-        H = self._h_cache.get(h_key)
+        H = self.store.get_hmatrix(h_key)
         if H is not None:
             self.stats.hmatrix_hits += 1
             return H
 
         p1_key = (pfp, plan.p1_fingerprint())
         inspector = plan.to_inspector()
-        p1 = self._p1_cache.get(p1_key)
+        p1 = self.store.get_p1(p1_key)
         if p1 is None:
             p1 = inspector.run_p1(points)
-            self._p1_cache.put(p1_key, p1)
+            self.store.put_p1(p1_key, p1)
             self.stats.p1_builds += 1
         else:
             self.stats.p1_hits += 1
 
         H = inspector.run_p2(p1, kernel)
         self.stats.p2_builds += 1
-        self._h_cache.put(h_key, H)
+        self.store.put_hmatrix(h_key, H)
         return H
 
     def operator(self, points, kernel: Kernel | str = "gaussian",
@@ -170,7 +258,7 @@ class Session:
         """A lazy :class:`KernelOperator` bound to this session.
 
         Construction is free; the first product (or ``.materialize()``)
-        routes through :meth:`inspect`, hitting the plan cache when the
+        routes through :meth:`inspect`, hitting the plan store when the
         same points+plan were seen before.
         """
         plan = self._resolve_plan(plan, bacc)
@@ -184,18 +272,39 @@ class Session:
     def matmul(self, H: HMatrix, W, policy: ExecutionPolicy | None = None,
                **overrides) -> np.ndarray:
         """``Y = H @ W`` through the session's pool and policy."""
-        policy = resolve_policy(policy or self.policy, **overrides)
+        # `policy or self.policy` would silently swap an explicitly passed
+        # policy object for the session default if it were ever falsy;
+        # identity against None is the contract.
+        base = policy if policy is not None else self.policy
+        policy = resolve_policy(base, **overrides)
         self.stats.evaluations += 1
         return self._executor.matmul(H, W, policy=policy)
 
+    # ------------------------------------------------------------ persistence
+    def save(self, directory=None) -> int:
+        """Persist every memory-tier artifact to the store's disk tier.
+
+        With a disk-backed store this is a no-op safety net (artifacts are
+        written through on build); for a memory-only session pass
+        ``directory`` to snapshot the current caches into a new store
+        location. Returns the number of artifacts written.
+        """
+        return self.store.flush(directory)
+
+    def warm(self) -> int:
+        """Verify + preload on-disk artifacts into the store's memory tiers.
+
+        Returns the number of artifacts verified (0 for memory-only
+        stores). Up to the memory-tier capacities, first requests are
+        then served from memory rather than disk (see
+        :meth:`PlanStore.warm` for the residency bound).
+        """
+        return self.store.warm()
+
     # -------------------------------------------------------------- lifecycle
     def cache_info(self) -> dict:
-        """Occupancy + hit counters (for logs and tests)."""
-        return {
-            "p1_entries": len(self._p1_cache),
-            "hmatrix_entries": len(self._h_cache),
-            **self.stats.as_dict(),
-        }
+        """Occupancy + hit counters (session + store) for logs and tests."""
+        return {**self.store.cache_info(), **self.stats.as_dict()}
 
     def close(self) -> None:
         self._executor.close()

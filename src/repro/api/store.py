@@ -1,0 +1,488 @@
+"""PlanStore: a durable, content-addressed artifact store for plans.
+
+The paper's whole premise is inspect-once/execute-many; before this module
+the "once" only lasted one process lifetime (the Session's in-memory LRUs)
+while disk persistence lived in a disconnected path (:mod:`repro.core.io`)
+with no cache semantics or integrity checking. :class:`PlanStore` subsumes
+both: it is the single artifact cache behind a
+:class:`~repro.api.session.Session`, with a **tiered memory → disk get
+path** so a fresh process warm-starts from disk and never re-inspects.
+
+Design (DESIGN.md section 8):
+
+* **Keys are content tuples** — the same ``(points_fingerprint,
+  PlanConfig fingerprint, kernel identity)`` tuples the Session already
+  uses; the store hashes their ``repr`` with SHA-256 into a digest that
+  names the on-disk artifact (content addressing, no coordination needed).
+* **Two tiers per entry kind**: phase-1 inspections (``p1``) and finished
+  HMatrices (``hmatrix``), each fronted by its own in-memory LRU.
+* **Artifacts are ``<digest>.npz`` payloads** in the existing
+  :mod:`repro.core.io` formats **plus a ``<digest>.json`` manifest**
+  recording the tier, the key, and the payload's SHA-256. Loads verify the
+  digest and *fail closed* with :class:`PlanStoreError` on any mismatch —
+  a tampered or torn artifact can never be served.
+* **Writes are atomic**: payload to a temp file then ``os.replace``, then
+  the manifest the same way. The manifest is written last, so a manifest's
+  existence implies a complete payload; eviction deletes the manifest
+  first, preserving the invariant in the other direction.
+* **Capacity policy**: ``max_bytes`` bounds the on-disk footprint;
+  least-recently-*used* artifacts (manifest mtime, touched on every get)
+  are evicted first. The newest artifact is never evicted.
+
+All public methods are thread-safe (one coarse lock: artifacts are
+few-per-second, megabyte-scale objects, not a hot path), so one PlanStore
+may back many Sessions and a :class:`~repro.api.service.KernelService`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.io import (
+    PlanStoreError,
+    load_hmatrix,
+    load_inspection_p1,
+    save_hmatrix,
+    save_inspection_p1,
+)
+
+__all__ = ["PlanStore", "PlanStoreError", "StoreStats"]
+
+#: Version of the store layout (manifest schema + file naming).
+STORE_VERSION = 1
+
+#: tier name -> (save function, load function) in repro.core.io formats.
+_TIERS = {
+    "p1": (save_inspection_p1, load_inspection_p1),
+    "hmatrix": (save_hmatrix, load_hmatrix),
+}
+
+
+@dataclass
+class StoreStats:
+    """Where gets were served from (and what writes/evictions happened)."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    integrity_failures: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class _LRU:
+    """Tiny ordered-dict LRU (callers hold the store lock)."""
+
+    def __init__(self, maxsize: int):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        if key not in self._data:
+            return None
+        self._data.move_to_end(key)
+        return self._data[key]
+
+    def put(self, key, value):
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def items(self):
+        return list(self._data.items())
+
+    def clear(self):
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class PlanStore:
+    """Content-addressed plan/HMatrix store with memory and disk tiers.
+
+    Parameters
+    ----------
+    directory:
+        Artifact directory (created if missing). ``None`` keeps the store
+        memory-only — the Session default, equivalent to the old pure-LRU
+        behaviour, with :meth:`flush` available to persist later.
+    max_bytes:
+        On-disk capacity; the least-recently-used artifacts are evicted
+        after each put to stay under it. ``None`` (default) is unbounded.
+    memory_p1 / memory_hmatrix:
+        Capacities of the two in-memory LRU tiers.
+
+    ``get_*`` returns ``None`` on a miss, the artifact on a hit, and
+    raises :class:`PlanStoreError` on a hit whose bytes fail verification
+    (fail closed — a corrupt store never silently rebuilds or serves).
+    """
+
+    def __init__(self, directory=None, *, max_bytes: int | None = None,
+                 memory_p1: int = 8, memory_hmatrix: int = 16):
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1 or None, got {max_bytes}")
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self._mem = {"p1": _LRU(memory_p1), "hmatrix": _LRU(memory_hmatrix)}
+        self._lock = threading.RLock()
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------ addressing
+    @staticmethod
+    def digest(tier: str, key) -> str:
+        """Stable content address of a cache key within a tier."""
+        if tier not in _TIERS:
+            raise ValueError(f"unknown tier {tier!r}; must be one of "
+                             f"{sorted(_TIERS)}")
+        payload = repr((tier, repr(key)))
+        return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+    def _paths(self, digest: str) -> tuple[Path, Path]:
+        return (self.directory / f"{digest}.npz",
+                self.directory / f"{digest}.json")
+
+    def _manifests(self) -> list[Path]:
+        """On-disk manifests, excluding in-flight/orphaned temp files.
+
+        Temp names keep the real suffixes (numpy insists on ``.npz``), so
+        every directory scan must filter them: a crash-orphaned partial
+        temp file is garbage to ignore, not an artifact — it must never
+        fail ``warm()``/``entries()`` on a healthy store. Stale orphans
+        are swept only after a very conservative hour — a slow concurrent
+        writer must never have a live temp file deleted from under it.
+        """
+        out = []
+        cutoff = time.time() - 3600.0
+        for p in self.directory.glob("*.json"):
+            if ".tmp." in p.name:
+                self._sweep_orphan(p, cutoff)
+                continue
+            out.append(p)
+        for p in self.directory.glob("*.tmp.npz"):
+            self._sweep_orphan(p, cutoff)
+        return out
+
+    def _manifests_by_mtime(self) -> list[Path]:
+        """Manifests oldest-used first, tolerating a concurrent evictor:
+        a manifest deleted between the glob and its stat() is simply an
+        entry that no longer exists, not an error."""
+        stamped = []
+        for p in self._manifests():
+            try:
+                stamped.append((p.stat().st_mtime, str(p), p))
+            except OSError:
+                continue
+        return [p for _, _, p in sorted(stamped)]
+
+    @staticmethod
+    def _sweep_orphan(path: Path, cutoff: float) -> None:
+        try:
+            if path.stat().st_mtime < cutoff:
+                path.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - raced with its writer
+            pass
+
+    # ------------------------------------------------------------ public API
+    def get_p1(self, key):
+        return self._get("p1", key)
+
+    def put_p1(self, key, p1) -> str:
+        return self._put("p1", key, p1)
+
+    def get_hmatrix(self, key):
+        return self._get("hmatrix", key)
+
+    def put_hmatrix(self, key, H) -> str:
+        return self._put("hmatrix", key, H)
+
+    # ------------------------------------------------------------- get / put
+    def _get(self, tier: str, key):
+        digest = self.digest(tier, key)
+        with self._lock:
+            hit = self._mem[tier].get(digest)
+            if hit is not None:
+                self.stats.memory_hits += 1
+                if self.directory is not None:
+                    # Memory hits must count as "used" for disk eviction
+                    # too, or max_bytes would evict the hottest artifacts
+                    # (their manifests would keep their compile-time
+                    # mtime while only cold entries got touched on get).
+                    self._touch(self._paths(digest)[1])
+                return hit[1]
+            if self.directory is None:
+                self.stats.misses += 1
+                return None
+            payload_path, manifest_path = self._paths(digest)
+            if not manifest_path.exists():
+                self.stats.misses += 1
+                return None
+            try:
+                manifest = self._read_manifest(manifest_path)
+                if manifest.get("tier") != tier:
+                    self._integrity_error(
+                        f"manifest {manifest_path} records tier "
+                        f"{manifest.get('tier')!r}, expected {tier!r}")
+                value = self._verified_load(tier, payload_path, manifest)
+            except PlanStoreError:
+                if not manifest_path.exists():
+                    # A concurrent evictor deleted the entry mid-read:
+                    # that is a clean miss, not corruption.
+                    self.stats.misses += 1
+                    return None
+                raise
+            self._touch(manifest_path)  # LRU recency for eviction
+            self._mem[tier].put(digest, (repr(key), value))
+            self.stats.disk_hits += 1
+            return value
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - raced with eviction
+            pass
+
+    def _put(self, tier: str, key, value) -> str:
+        digest = self.digest(tier, key)
+        with self._lock:
+            self._mem[tier].put(digest, (repr(key), value))
+            if self.directory is not None:
+                self._write(self.directory, tier, digest, repr(key), value)
+                self.stats.puts += 1
+                self._evict()
+        return digest
+
+    # ------------------------------------------------------------ disk layer
+    def _integrity_error(self, message: str):
+        self.stats.integrity_failures += 1
+        raise PlanStoreError(message)
+
+    def _read_manifest(self, manifest_path: Path) -> dict:
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self.stats.integrity_failures += 1
+            raise PlanStoreError(
+                f"store manifest {manifest_path} is unreadable or not JSON "
+                f"({type(exc).__name__}: {exc})"
+            ) from exc
+        if not isinstance(manifest, dict) or "sha256" not in manifest:
+            self._integrity_error(
+                f"store manifest {manifest_path} is missing its sha256 field")
+        if manifest.get("store_version") != STORE_VERSION:
+            self._integrity_error(
+                f"store manifest {manifest_path} has version "
+                f"{manifest.get('store_version')!r}; this build reads "
+                f"version {STORE_VERSION}")
+        return manifest
+
+    def _verified_load(self, tier: str, payload_path: Path, manifest: dict):
+        try:
+            payload = payload_path.read_bytes()
+        except OSError as exc:
+            self.stats.integrity_failures += 1
+            raise PlanStoreError(
+                f"store payload {payload_path} is unreadable although its "
+                f"manifest exists ({exc})"
+            ) from exc
+        actual = hashlib.sha256(payload).hexdigest()
+        if actual != manifest["sha256"]:
+            self._integrity_error(
+                f"store payload {payload_path} failed its SHA-256 integrity "
+                f"check (expected {manifest['sha256'][:12]}…, got "
+                f"{actual[:12]}…); refusing to serve a tampered or torn "
+                f"artifact")
+        try:
+            # Decode the bytes already read for the integrity check; the
+            # payload file is not read twice.
+            return _TIERS[tier][1](io.BytesIO(payload))
+        except PlanStoreError as exc:
+            self.stats.integrity_failures += 1
+            raise PlanStoreError(
+                f"store payload {payload_path}: {exc}") from exc
+
+    def _write(self, directory: Path, tier: str, digest: str,
+               key_repr: str, value) -> None:
+        directory.mkdir(parents=True, exist_ok=True)
+        payload_path = directory / f"{digest}.npz"
+        manifest_path = directory / f"{digest}.json"
+        # Payload first, atomically; the temp name keeps the .npz suffix so
+        # numpy does not append a second one.
+        tmp_payload = directory / f"{digest}.{os.getpid()}.tmp.npz"
+        try:
+            _TIERS[tier][0](value, tmp_payload)
+            data = tmp_payload.read_bytes()
+            os.replace(tmp_payload, payload_path)
+        finally:
+            tmp_payload.unlink(missing_ok=True)
+        manifest = {
+            "store_version": STORE_VERSION,
+            "tier": tier,
+            "key": key_repr,
+            "sha256": hashlib.sha256(data).hexdigest(),
+            "size": len(data),
+            "created": time.time(),
+        }
+        # Manifest last (its existence implies a complete payload).
+        tmp_manifest = directory / f"{digest}.{os.getpid()}.tmp.json"
+        try:
+            tmp_manifest.write_text(json.dumps(manifest, indent=1))
+            os.replace(tmp_manifest, manifest_path)
+        finally:
+            tmp_manifest.unlink(missing_ok=True)
+
+    def _evict(self) -> None:
+        """Drop least-recently-used artifacts until under ``max_bytes``."""
+        if self.max_bytes is None or self.directory is None:
+            return
+        entries = []  # (mtime, total_bytes, payload_path, manifest_path)
+        for manifest_path in self._manifests():
+            payload_path = manifest_path.with_suffix(".npz")
+            try:
+                size = manifest_path.stat().st_size
+                mtime = manifest_path.stat().st_mtime
+                if payload_path.exists():
+                    size += payload_path.stat().st_size
+            except OSError:
+                continue
+            entries.append((mtime, size, payload_path, manifest_path))
+        entries.sort()
+        total = sum(e[1] for e in entries)
+        # Never evict the most recently used entry — a single artifact
+        # larger than max_bytes would otherwise churn forever.
+        while total > self.max_bytes and len(entries) > 1:
+            _, size, payload_path, manifest_path = entries.pop(0)
+            manifest_path.unlink(missing_ok=True)  # manifest first
+            payload_path.unlink(missing_ok=True)
+            total -= size
+            self.stats.evictions += 1
+
+    # ----------------------------------------------------------- maintenance
+    def entries(self) -> list[dict]:
+        """Manifests of every on-disk artifact (oldest-used first)."""
+        if self.directory is None:
+            return []
+        with self._lock:
+            out = []
+            for manifest_path in self._manifests_by_mtime():
+                try:
+                    manifest = self._read_manifest(manifest_path)
+                except PlanStoreError:
+                    if not manifest_path.exists():
+                        continue  # concurrently evicted, not corrupt
+                    raise
+                out.append({**manifest, "digest": manifest_path.stem})
+            return out
+
+    def disk_bytes(self) -> int:
+        """Total on-disk footprint (payloads + manifests)."""
+        if self.directory is None:
+            return 0
+        return sum(p.stat().st_size
+                   for pat in ("*.json", "*.npz")
+                   for p in self.directory.glob(pat)
+                   if ".tmp." not in p.name)
+
+    def warm(self) -> int:
+        """Load-and-verify every on-disk artifact through the memory tiers.
+
+        Returns the number of artifacts verified. Integrity failures
+        raise :class:`PlanStoreError` (fail closed) — a warm() that
+        succeeds means *every* artifact verified. Residency afterwards is
+        still bounded by the memory-tier capacities: artifacts are
+        visited oldest-used first, so when the store holds more than
+        ``memory_p1``/``memory_hmatrix`` entries the *most recently used*
+        ones are the ones left resident; the rest verify and fall back to
+        disk hits on first request.
+        """
+        if self.directory is None:
+            return 0
+        count = 0
+        with self._lock:
+            for manifest_path in self._manifests_by_mtime():
+                try:
+                    manifest = self._read_manifest(manifest_path)
+                except PlanStoreError:
+                    if not manifest_path.exists():
+                        continue  # concurrently evicted, not corrupt
+                    raise
+                tier = manifest.get("tier")
+                if tier not in _TIERS:
+                    self._integrity_error(
+                        f"store manifest {manifest_path} records unknown "
+                        f"tier {tier!r}")
+                payload_path = manifest_path.with_suffix(".npz")
+                try:
+                    value = self._verified_load(tier, payload_path,
+                                                manifest)
+                except PlanStoreError:
+                    if not manifest_path.exists():
+                        continue  # concurrently evicted mid-load
+                    raise
+                self._mem[tier].put(manifest_path.stem,
+                                    (manifest.get("key", ""), value))
+                count += 1
+        return count
+
+    def flush(self, directory=None) -> int:
+        """Write every memory-tier entry to disk; returns how many.
+
+        ``directory`` overrides the store's own (required for a
+        memory-only store). Entries already on disk are rewritten
+        (idempotent, atomic).
+        """
+        target = Path(directory) if directory is not None else self.directory
+        if target is None:
+            raise PlanStoreError(
+                "cannot flush a memory-only PlanStore without a directory; "
+                "pass flush(directory=...) or construct PlanStore(dir)")
+        count = 0
+        with self._lock:
+            for tier, mem in self._mem.items():
+                for digest, (key_repr, value) in mem.items():
+                    self._write(target, tier, digest, key_repr, value)
+                    self.stats.puts += 1
+                    count += 1
+            if target == self.directory:
+                self._evict()
+        return count
+
+    def clear_memory(self) -> None:
+        """Drop the memory tiers (disk artifacts are untouched)."""
+        with self._lock:
+            for mem in self._mem.values():
+                mem.clear()
+
+    # ------------------------------------------------------------- reporting
+    def cache_info(self) -> dict:
+        """Tier occupancy + hit/miss counters (for logs and tests)."""
+        with self._lock:
+            return {
+                "p1_entries": len(self._mem["p1"]),
+                "hmatrix_entries": len(self._mem["hmatrix"]),
+                "disk_entries": (len(self._manifests())
+                                 if self.directory is not None else 0),
+                **self.stats.as_dict(),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        where = str(self.directory) if self.directory else "memory-only"
+        return (f"PlanStore({where}, entries={len(self._mem['hmatrix'])}"
+                f"+{len(self._mem['p1'])})")

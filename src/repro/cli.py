@@ -7,15 +7,40 @@ Mirrors the paper's inspector/executor workflow as a tool:
 * ``evaluate`` — load an ``hmat.npz``, multiply with a dense matrix file
   (or random W) under an execution policy (``--order``, ``--threads``,
   ``--q-chunk``), write/report Y;
+* ``compile``  — inspect point sets into a durable, integrity-checked
+  :class:`~repro.api.store.PlanStore` directory (compile once…);
+* ``serve``    — replay a JSON request file through a
+  :class:`~repro.api.service.KernelService` warm-started from a store
+  (…serve forever); ``--expect-warm`` fails if any inspection ran;
 * ``info``     — print the structural summary of a stored HMatrix;
 * ``datasets`` — regenerate Table 1 / emit a synthetic dataset to .npy.
+
+The request-file format consumed by ``compile --requests``/``serve``::
+
+    {
+      "datasets": {
+        "<points_id>": {"points": "<Table-1 name or .npy path>",
+                         "n": 1000, "kernel": "gaussian",
+                         "bandwidth": 5.0, "leaf_size": 32, ...}
+      },
+      "requests": [
+        {"points_id": "<points_id>", "q": 4, "seed": 0}, ...
+      ]
+    }
+
+``datasets`` entries accept the same inspector knobs as the ``inspect``
+flags (structure/tau/budget/bacc/leaf_size/max_rank/sampling_size/
+tree_method/seed); compiling and serving from the *same file* guarantees
+the store keys match.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -144,6 +169,138 @@ def cmd_evaluate(args) -> int:
     return 0
 
 
+#: Inspector knobs a dataset spec (request file) may set; defaults are the
+#: PlanConfig defaults, exactly like the ``inspect`` flags. ``p`` is
+#: included so cross-machine compile/serve can pin the partition count
+#: (it is part of the full fingerprint and defaults to the host's cores).
+_SPEC_PLAN_KEYS = ("structure", "tau", "budget", "bacc", "leaf_size",
+                   "max_rank", "sampling_size", "tree_method", "seed", "p")
+
+#: Non-plan keys a dataset spec may set (dataset source + kernel).
+_SPEC_DATA_KEYS = ("points", "n", "kernel", "bandwidth")
+
+
+def _plan_from_spec(spec: dict) -> PlanConfig:
+    unknown = sorted(set(spec) - set(_SPEC_PLAN_KEYS) - set(_SPEC_DATA_KEYS))
+    if unknown:
+        raise SystemExit(
+            f"dataset spec has unknown key(s) {unknown}; valid keys: "
+            f"{sorted(_SPEC_PLAN_KEYS + _SPEC_DATA_KEYS)}")
+    return PlanConfig(**{k: spec[k] for k in _SPEC_PLAN_KEYS if k in spec})
+
+
+def _kernel_from_spec(spec: dict):
+    name = spec.get("kernel", "gaussian")
+    if name in ("gaussian", "laplace", "matern32"):
+        return get_kernel(name, bandwidth=spec.get("bandwidth", 5.0))
+    return get_kernel(name)
+
+
+def _spec_points(spec: dict) -> np.ndarray:
+    return _load_points(spec["points"], spec.get("n"), spec.get("seed", 0))
+
+
+def _load_request_file(path) -> dict:
+    doc = json.loads(Path(path).read_text())
+    if not isinstance(doc, dict) or not isinstance(doc.get("datasets"), dict):
+        raise SystemExit(
+            f"request file {path} must be a JSON object with a 'datasets' "
+            f"mapping (see 'python -m repro serve --help')")
+    return doc
+
+
+def cmd_compile(args) -> int:
+    from repro.api.session import Session
+    from repro.api.store import PlanStore
+
+    if args.requests:
+        specs = _load_request_file(args.requests)["datasets"]
+    elif args.points:
+        specs = {args.points_id or args.points: {
+            "points": args.points, "n": args.n, "seed": args.seed,
+            "kernel": args.kernel, "bandwidth": args.bandwidth,
+            "structure": args.structure, "tau": args.tau,
+            "budget": args.budget, "bacc": args.bacc,
+            "leaf_size": args.leaf_size, "max_rank": args.max_rank,
+            "sampling_size": args.sampling_size,
+        }}
+    else:
+        print("compile: give a points spec or --requests FILE",
+              file=sys.stderr)
+        return 2
+    store = PlanStore(args.store)
+    with Session(store=store) as session:
+        for pid, spec in specs.items():
+            points = _spec_points(spec)
+            t0 = time.perf_counter()
+            H = session.inspect(points, kernel=_kernel_from_spec(spec),
+                                plan=_plan_from_spec(spec))
+            dt = time.perf_counter() - t0
+            s = H.summary()
+            print(f"compiled {pid}: N={s['N']} ({s['structure']}) in "
+                  f"{dt:.2f}s (memory {s['memory_mb']:.2f} MiB)")
+    info = store.cache_info()
+    print(f"store {args.store}: {info['disk_entries']} artifact(s), "
+          f"{store.disk_bytes() / 2**20:.2f} MiB on disk "
+          f"(p1_builds={session.stats.p1_builds}, "
+          f"p1_hits={session.stats.p1_hits}, "
+          f"hmatrix_hits={session.stats.hmatrix_hits})")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.api.service import KernelService
+    from repro.api.store import PlanStore
+
+    doc = _load_request_file(args.requests)
+    requests = doc.get("requests", [])
+    unknown = sorted({str(r.get("points_id")) for r in requests}
+                     - set(doc["datasets"]))
+    if unknown:
+        raise SystemExit(
+            f"request file {args.requests}: requests reference points_id(s) "
+            f"{unknown} missing from the 'datasets' section")
+    store = PlanStore(args.store) if args.store else None
+    with KernelService(store=store, max_batch=args.max_batch,
+                       max_wait_ms=args.max_wait_ms) as service:
+        for pid, spec in doc["datasets"].items():
+            service.register(pid, _spec_points(spec),
+                             kernel=_kernel_from_spec(spec),
+                             plan=_plan_from_spec(spec), warm=True)
+        futures = []
+        t0 = time.perf_counter()
+        for i, req in enumerate(requests):
+            pid = req["points_id"]
+            n = service.shape(pid)[0]
+            W = np.random.default_rng(req.get("seed", i)).random(
+                (n, int(req.get("q", 1))))
+            futures.append((pid, service.submit(pid, W)))
+        for pid, fut in futures:
+            fut.result()
+        wall = time.perf_counter() - t0
+        stats = service.stats()
+        sess = service.session.stats
+        disk_hits = service.session.store.stats.disk_hits
+    rate = len(requests) / wall if wall > 0 and requests else 0.0
+    print(f"served {len(requests)} request(s) over "
+          f"{len(doc['datasets'])} endpoint(s) in {wall:.3f}s "
+          f"({rate:.1f} req/s)")
+    print(f"  latency p50 {stats['p50_ms']:.2f} ms, "
+          f"p99 {stats['p99_ms']:.2f} ms; "
+          f"batches={stats['batches']}, mean_batch={stats['mean_batch']:.2f},"
+          f" max_queue_depth={stats['max_queue_depth']}")
+    print(f"  inspection: p1_builds={sess.p1_builds}, "
+          f"p2_builds={sess.p2_builds}, hmatrix_hits={sess.hmatrix_hits}, "
+          f"store_disk_hits={disk_hits}")
+    if args.expect_warm and (sess.p1_builds or sess.p2_builds):
+        print("error: --expect-warm but inspection ran "
+              f"(p1_builds={sess.p1_builds}, p2_builds={sess.p2_builds}); "
+              "run 'repro compile --requests ... --store ...' first",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_info(args) -> int:
     H = load_hmatrix(args.hmatrix)
     for key, value in H.summary().items():
@@ -196,6 +353,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     _add_policy_args(p)
     p.set_defaults(fn=cmd_evaluate)
+
+    p = sub.add_parser(
+        "compile",
+        help="inspect points into a durable PlanStore (compile once)")
+    p.add_argument("points", nargs="?", default=None,
+                   help="Table 1 dataset name or .npy point file "
+                        "(or use --requests)")
+    p.add_argument("--store", required=True,
+                   help="PlanStore directory (created if missing)")
+    p.add_argument("--points-id", default=None,
+                   help="endpoint name for the compiled artifact "
+                        "(default: the points spec)")
+    p.add_argument("--requests", default=None,
+                   help="compile every dataset in a request file instead "
+                        "of a single points spec")
+    p.add_argument("-n", type=int, default=None,
+                   help="point count for named datasets")
+    _add_inspector_args(p)
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser(
+        "serve",
+        help="replay a request file through KernelService (serve forever)")
+    p.add_argument("--requests", required=True,
+                   help="JSON request file (see module docstring)")
+    p.add_argument("--store", default=None,
+                   help="warm-start from this PlanStore directory")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="micro-batch size cap (1 disables batching)")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="how long the dispatcher lingers for stragglers")
+    p.add_argument("--expect-warm", action="store_true",
+                   help="exit non-zero if any inspection ran (proves the "
+                        "store served every plan)")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("info", help="summarise a stored HMatrix")
     p.add_argument("hmatrix")

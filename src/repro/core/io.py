@@ -39,6 +39,34 @@ from repro.tree.cluster_tree import ClusterTree
 _FORMAT_VERSION = 1
 
 
+class PlanStoreError(RuntimeError):
+    """A stored artifact is missing, corrupted, truncated, or incompatible.
+
+    Every load path in this module (and the disk tier of
+    :class:`repro.api.store.PlanStore`) fails **closed** with this error:
+    a file that does not decode bit-for-bit into a valid artifact raises
+    ``PlanStoreError`` rather than leaking a raw ``zipfile``/``numpy``/
+    ``json`` exception — or, worse, a silently wrong matrix.
+    """
+
+
+def _guard_load(what: str, path, loader):
+    """Run ``loader()`` failing closed: any decode error, missing file, or
+    format incompatibility surfaces as a :class:`PlanStoreError` naming the
+    artifact, never a raw ``zipfile``/``numpy``/``json``/``KeyError``."""
+    try:
+        return loader()
+    except PlanStoreError:
+        raise
+    except FileNotFoundError as exc:
+        raise PlanStoreError(f"{what} artifact {path} does not exist") from exc
+    except Exception as exc:
+        raise PlanStoreError(
+            f"{what} artifact {path} is corrupted, truncated, or not a "
+            f"{what} file ({type(exc).__name__}: {exc})"
+        ) from exc
+
+
 # --------------------------------------------------------------------------
 # Structural (de)serialisation helpers.
 # --------------------------------------------------------------------------
@@ -209,13 +237,29 @@ def save_hmatrix(H, path) -> Path:
     return path
 
 
+def _as_source(path):
+    """np.load source: a binary file-like passes through, else a Path."""
+    return path if hasattr(path, "read") else Path(path)
+
+
 def load_hmatrix(path) -> HMatrix:
-    """Load an HMatrix saved by :func:`save_hmatrix`; recompiles the code."""
-    with np.load(Path(path), allow_pickle=False) as data:
+    """Load an HMatrix saved by :func:`save_hmatrix`; recompiles the code.
+
+    ``path`` may also be an open binary file-like (the
+    :class:`~repro.api.store.PlanStore` hands over bytes it already read
+    for the integrity check). Fails closed: a corrupted, truncated, or
+    version-incompatible file raises :class:`PlanStoreError`.
+    """
+    return _guard_load("hmatrix", path, lambda: _load_hmatrix(path))
+
+
+def _load_hmatrix(path) -> HMatrix:
+    with np.load(_as_source(path), allow_pickle=False) as data:
         manifest = json.loads(bytes(data["manifest"]).decode())
         if manifest["version"] != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported hmatrix file version {manifest['version']}"
+            raise PlanStoreError(
+                f"unsupported hmatrix file version {manifest['version']} "
+                f"in {path} (this build reads version {_FORMAT_VERSION})"
             )
         tree = _tree_from_arrays(data)
         htree = HTree(tree=tree,
@@ -307,12 +351,22 @@ def save_inspection_p1(p1: InspectionP1, path) -> Path:
 
 
 def load_inspection_p1(path) -> InspectionP1:
-    """Load phase-1 inspection artifacts saved by :func:`save_inspection_p1`."""
-    with np.load(Path(path), allow_pickle=False) as data:
+    """Load phase-1 inspection artifacts saved by :func:`save_inspection_p1`.
+
+    ``path`` may also be an open binary file-like. Fails closed: a
+    corrupted, truncated, or version-incompatible file raises
+    :class:`PlanStoreError`.
+    """
+    return _guard_load("inspection-p1", path, lambda: _load_inspection_p1(path))
+
+
+def _load_inspection_p1(path) -> InspectionP1:
+    with np.load(_as_source(path), allow_pickle=False) as data:
         manifest = json.loads(bytes(data["manifest"]).decode())
         if manifest["version"] != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported inspection file version {manifest['version']}"
+            raise PlanStoreError(
+                f"unsupported inspection file version {manifest['version']} "
+                f"in {path} (this build reads version {_FORMAT_VERSION})"
             )
         tree = _tree_from_arrays(data)
         samples = {

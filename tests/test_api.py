@@ -426,3 +426,130 @@ class TestCLIPolicyFlags:
 
         with pytest.raises(SystemExit):
             main(["evaluate", str(stored_hmatrix), "--order", "bfs"])
+
+
+class TestSessionPolicyRegression:
+    """Satellite fix: an explicitly passed policy object is never silently
+    swapped for the session default (`policy or self.policy` was the bug
+    pattern; identity-against-None is the contract)."""
+
+    def test_explicit_policy_reaches_executor(self, hmatrix_2d):
+        captured = {}
+        with Session(plan=PLAN_32) as session:
+            real = session._executor.matmul
+
+            def spy(H, W, policy=None):
+                captured["policy"] = policy
+                return real(H, W, policy=policy)
+
+            session._executor.matmul = spy
+            explicit = ExecutionPolicy(order="original", q_chunk=32)
+            W = np.random.default_rng(0).random((hmatrix_2d.dim, 2))
+            session.matmul(hmatrix_2d, W, policy=explicit)
+        assert captured["policy"] == explicit
+        assert captured["policy"] is not session.policy
+
+    def test_explicit_policy_with_overrides(self, hmatrix_2d):
+        captured = {}
+        with Session(plan=PLAN_32, num_threads=2) as session:
+            real = session._executor.matmul
+
+            def spy(H, W, policy=None):
+                captured["policy"] = policy
+                return real(H, W, policy=policy)
+
+            session._executor.matmul = spy
+            explicit = ExecutionPolicy(order="original")
+            W = np.random.default_rng(0).random((hmatrix_2d.dim, 2))
+            session.matmul(hmatrix_2d, W, policy=explicit, q_chunk=64)
+        # overrides apply on top of the explicit policy, not the default
+        assert captured["policy"].order == "original"
+        assert captured["policy"].q_chunk == 64
+        assert captured["policy"].num_threads is None  # not the session's 2
+
+    def test_default_policy_still_used_when_omitted(self, hmatrix_2d):
+        captured = {}
+        with Session(plan=PLAN_32, num_threads=2) as session:
+            real = session._executor.matmul
+
+            def spy(H, W, policy=None):
+                captured["policy"] = policy
+                return real(H, W, policy=policy)
+
+            session._executor.matmul = spy
+            W = np.random.default_rng(0).random((hmatrix_2d.dim, 2))
+            session.matmul(hmatrix_2d, W)
+        assert captured["policy"] == session.policy
+
+
+class TestPointsFingerprintMemo:
+    """Satellite fix: repeated fingerprints of the same array skip the
+    full-buffer SHA-256 (measurable per-request overhead on the serving
+    path) while still detecting mutation and content changes."""
+
+    def test_stable_and_cached(self):
+        from repro.api import session as sess_mod
+
+        pts = np.random.default_rng(0).random((512, 3))
+        fp1 = points_fingerprint(pts)
+        assert id(pts) in sess_mod._FP_CACHE
+        fp2 = points_fingerprint(pts)
+        assert fp1 == fp2
+
+    def test_cache_hit_skips_full_hash(self, monkeypatch):
+        from repro.api import session as sess_mod
+
+        pts = np.random.default_rng(1).random((512, 3))
+        fp1 = points_fingerprint(pts)
+        calls = []
+
+        def forbidden(*a, **k):
+            calls.append(1)
+            raise AssertionError("full SHA-256 ran on a memo hit")
+
+        monkeypatch.setattr(sess_mod.hashlib, "sha256", forbidden)
+        assert points_fingerprint(pts) == fp1
+        assert not calls
+
+    def test_equal_content_different_objects_equal_fp(self):
+        pts = np.random.default_rng(2).random((256, 2))
+        assert points_fingerprint(pts) == points_fingerprint(pts.copy())
+
+    def test_mutation_detected(self):
+        pts = np.random.default_rng(3).random((256, 2))
+        fp1 = points_fingerprint(pts)
+        pts[0, 0] += 1.0  # row 0 is always in the sampled stripe
+        assert points_fingerprint(pts) != fp1
+
+    def test_non_ndarray_input_still_works(self):
+        pts = [[0.0, 1.0], [1.0, 0.0], [0.5, 0.5]]
+        assert points_fingerprint(pts) == points_fingerprint(np.array(pts))
+
+    def test_dtype_normalization_unchanged(self):
+        pts64 = np.random.default_rng(4).random((128, 2))
+        pts32 = pts64.astype(np.float32)
+        # float32 content hashes as its float64 view, like before the memo
+        assert (points_fingerprint(pts32)
+                == points_fingerprint(pts32.astype(np.float64)))
+
+    def test_cache_entry_dropped_on_gc(self):
+        from repro.api import session as sess_mod
+
+        pts = np.random.default_rng(5).random((64, 2))
+        points_fingerprint(pts)
+        key = id(pts)
+        assert key in sess_mod._FP_CACHE
+        del pts
+        import gc
+
+        gc.collect()
+        assert key not in sess_mod._FP_CACHE
+
+    def test_cache_bounded(self):
+        from repro.api import session as sess_mod
+
+        keep = [np.random.default_rng(i).random((8, 2))
+                for i in range(sess_mod._FP_CACHE_MAX + 16)]
+        for a in keep:
+            points_fingerprint(a)
+        assert len(sess_mod._FP_CACHE) <= sess_mod._FP_CACHE_MAX

@@ -1,5 +1,7 @@
 """End-to-end tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -89,6 +91,95 @@ class TestInfoCommand:
         assert "def hmatmul" in capsys.readouterr().out
 
 
+@pytest.fixture()
+def request_file(tmp_path, points_file):
+    path = tmp_path / "requests.json"
+    path.write_text(json.dumps({
+        "datasets": {
+            "pts": {"points": str(points_file), "kernel": "gaussian",
+                    "bandwidth": 0.5, "leaf_size": 32, "seed": 0},
+        },
+        "requests": [
+            {"points_id": "pts", "q": 4, "seed": 0},
+            {"points_id": "pts", "q": 1, "seed": 1},
+            {"points_id": "pts", "q": 2, "seed": 2},
+        ],
+    }))
+    return path
+
+
+class TestCompileCommand:
+    def test_compile_single_points(self, points_file, tmp_path, capsys):
+        rc = main(["compile", str(points_file), "--store",
+                   str(tmp_path / "store"), "--leaf-size", "32",
+                   "--bandwidth", "0.5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "compiled" in out and "2 artifact(s)" in out
+        assert len(list((tmp_path / "store").glob("*.npz"))) == 2
+
+    def test_compile_request_file(self, request_file, tmp_path, capsys):
+        rc = main(["compile", "--requests", str(request_file),
+                   "--store", str(tmp_path / "store")])
+        assert rc == 0
+        assert "compiled pts" in capsys.readouterr().out
+
+    def test_compile_is_idempotent(self, request_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["compile", "--requests", str(request_file), "--store", store])
+        rc = main(["compile", "--requests", str(request_file),
+                   "--store", store])
+        assert rc == 0
+        assert "hmatrix_hits=1" in capsys.readouterr().out
+
+    def test_compile_without_spec_errors(self, tmp_path, capsys):
+        rc = main(["compile", "--store", str(tmp_path / "store")])
+        assert rc == 2
+        assert "points spec or --requests" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_serve_cold(self, request_file, capsys):
+        rc = main(["serve", "--requests", str(request_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "served 3 request(s)" in out
+        assert "p1_builds=1" in out
+
+    def test_compile_then_serve_is_warm(self, request_file, tmp_path,
+                                        capsys):
+        store = str(tmp_path / "store")
+        main(["compile", "--requests", str(request_file), "--store", store])
+        rc = main(["serve", "--requests", str(request_file),
+                   "--store", store, "--expect-warm"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "p1_builds=0, p2_builds=0" in out
+        assert "store_disk_hits=1" in out
+
+    def test_expect_warm_fails_without_compile(self, request_file, tmp_path,
+                                               capsys):
+        rc = main(["serve", "--requests", str(request_file),
+                   "--store", str(tmp_path / "empty"), "--expect-warm"])
+        assert rc == 1
+        assert "--expect-warm" in capsys.readouterr().err
+
+    def test_serve_matches_library_product(self, request_file, points_file,
+                                           tmp_path, capsys):
+        """The served p50/p99 lines exist and the batching knobs parse."""
+        rc = main(["serve", "--requests", str(request_file),
+                   "--max-batch", "2", "--max-wait-ms", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "latency p50" in out and "mean_batch" in out
+
+    def test_bad_request_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"no_datasets": {}}))
+        with pytest.raises(SystemExit, match="datasets"):
+            main(["serve", "--requests", str(bad)])
+
+
 class TestDatasetsCommand:
     def test_list(self, capsys):
         rc = main(["datasets"])
@@ -103,3 +194,37 @@ class TestDatasetsCommand:
         assert rc == 0
         pts = np.load(out)
         assert pts.shape == (200, 2)
+
+
+def test_serve_unknown_points_id_clean_error(tmp_path, points_file):
+    doc = {"datasets": {"pts": {"points": str(points_file),
+                                "leaf_size": 32}},
+           "requests": [{"points_id": "typo", "q": 1}]}
+    path = tmp_path / "req.json"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(SystemExit, match="typo"):
+        main(["serve", "--requests", str(path)])
+
+
+def test_serve_request_missing_points_id_clean_error(tmp_path, points_file):
+    doc = {"datasets": {"pts": {"points": str(points_file),
+                                "leaf_size": 32}},
+           "requests": [{"q": 1}]}
+    path = tmp_path / "req.json"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(SystemExit, match="None"):
+        main(["serve", "--requests", str(path)])
+
+
+def test_spec_rejects_unknown_keys_and_accepts_p(tmp_path, points_file):
+    doc = {"datasets": {"pts": {"points": str(points_file),
+                                "leafsize": 32}},  # typo
+           "requests": []}
+    path = tmp_path / "req.json"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(SystemExit, match="leafsize"):
+        main(["serve", "--requests", str(path)])
+    doc["datasets"]["pts"] = {"points": str(points_file),
+                              "leaf_size": 64, "p": 2}  # p is pinnable
+    path.write_text(json.dumps(doc))
+    assert main(["serve", "--requests", str(path)]) == 0

@@ -8,7 +8,7 @@ an actionable ValueError instead of a deep NumPy broadcast error.
 import numpy as np
 import pytest
 
-from repro import Inspector, inspector, load_hmatrix
+from repro import Inspector, PlanStoreError, inspector, load_hmatrix
 from repro.compression import interpolative_decomposition
 from repro.core.evaluation import evaluate_reference
 from repro.sampling import build_sampling_plan
@@ -93,13 +93,13 @@ class TestEvaluationInputs:
 
 class TestCorruptArtifacts:
     def test_load_nonexistent_file(self, tmp_path):
-        with pytest.raises((FileNotFoundError, OSError)):
+        with pytest.raises(PlanStoreError, match="does not exist"):
             load_hmatrix(tmp_path / "missing.npz")
 
     def test_load_wrong_file(self, tmp_path):
         path = tmp_path / "notanhmatrix.npz"
         np.savez(path, junk=np.zeros(3))
-        with pytest.raises(KeyError):
+        with pytest.raises(PlanStoreError, match="corrupted"):
             load_hmatrix(path)
 
     def test_version_check(self, hmatrix_2d, tmp_path):
@@ -109,7 +109,7 @@ class TestCorruptArtifacts:
         old = hio._FORMAT_VERSION
         try:
             hio._FORMAT_VERSION = 999
-            with pytest.raises(ValueError, match="version"):
+            with pytest.raises(PlanStoreError, match="version"):
                 hio.load_hmatrix(path)
         finally:
             hio._FORMAT_VERSION = old

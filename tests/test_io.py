@@ -1,8 +1,11 @@
 """Round-trip tests for HMatrix and InspectionP1 persistence."""
 
 import numpy as np
+import pytest
 
+from repro.core.inspector import Inspector
 from repro.core.io import (
+    PlanStoreError,
     load_hmatrix,
     load_inspection_p1,
     save_hmatrix,
@@ -94,3 +97,89 @@ class TestInspectionP1Roundtrip:
         assert p1b.htree.near == p1_2d.htree.near
         assert p1b.htree.far == p1_2d.htree.far
         assert p1b.htree.structure == p1_2d.htree.structure
+
+
+class TestRoundtripAcrossStructuresAndDtypes:
+    """Every admissibility flavour and input dtype must round-trip."""
+
+    @pytest.mark.parametrize("structure", ["hss", "h2-geometric", "h2-b"])
+    def test_structure_roundtrip_product_identical(self, points_2d,
+                                                   gaussian_kernel,
+                                                   structure, tmp_path):
+        insp = Inspector(structure=structure, tau=0.65, budget=0.03,
+                         bacc=1e-5, leaf_size=32, p=4, seed=0)
+        H = insp.run(points_2d, gaussian_kernel)
+        H2 = load_hmatrix(save_hmatrix(H, tmp_path / "h.npz"))
+        assert H2.factors.htree.structure == H.factors.htree.structure
+        W = np.random.default_rng(0).random((H.dim, 4))
+        np.testing.assert_array_equal(H.matmul(W), H2.matmul(W))
+
+    @pytest.mark.parametrize("structure", ["hss", "h2-geometric", "h2-b"])
+    def test_structure_p1_roundtrip(self, points_2d, gaussian_kernel,
+                                    structure, tmp_path):
+        insp = Inspector(structure=structure, tau=0.65, budget=0.03,
+                         bacc=1e-5, leaf_size=32, p=4, seed=0)
+        p1 = insp.run_p1(points_2d)
+        p1b = load_inspection_p1(save_inspection_p1(p1, tmp_path / "p.npz"))
+        H_a = insp.run_p2(p1, gaussian_kernel)
+        H_b = insp.run_p2(p1b, gaussian_kernel)
+        W = np.random.default_rng(1).random((H_a.dim, 3))
+        np.testing.assert_allclose(H_a.matmul(W), H_b.matmul(W), atol=1e-10)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_input_dtype_roundtrip(self, gaussian_kernel, dtype, tmp_path):
+        pts = np.random.default_rng(5).random((300, 2)).astype(dtype)
+        insp = Inspector(leaf_size=32, bacc=1e-5, p=4, seed=0)
+        H = insp.run(pts, gaussian_kernel)
+        H2 = load_hmatrix(save_hmatrix(H, tmp_path / "h.npz"))
+        np.testing.assert_array_equal(H2.cds.basis_buf, H.cds.basis_buf)
+        W = np.random.default_rng(6).random((H.dim, 2))
+        np.testing.assert_array_equal(H.matmul(W), H2.matmul(W))
+
+
+class TestCorruptedArtifactsFailClosed:
+    """Torn/garbage files raise PlanStoreError, never raw numpy/JSON."""
+
+    def test_truncated_hmatrix_file(self, hmatrix_2d, tmp_path):
+        path = save_hmatrix(hmatrix_2d, tmp_path / "h.npz")
+        path.write_bytes(path.read_bytes()[:128])
+        with pytest.raises(PlanStoreError, match="corrupted"):
+            load_hmatrix(path)
+
+    def test_truncated_p1_file(self, p1_2d, tmp_path):
+        path = save_inspection_p1(p1_2d, tmp_path / "p1.npz")
+        path.write_bytes(path.read_bytes()[:128])
+        with pytest.raises(PlanStoreError, match="corrupted"):
+            load_inspection_p1(path)
+
+    def test_flipped_bytes_hmatrix_file(self, hmatrix_2d, tmp_path):
+        path = save_hmatrix(hmatrix_2d, tmp_path / "h.npz")
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(PlanStoreError):
+            load_hmatrix(path)
+
+    def test_not_a_zipfile(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(PlanStoreError, match="corrupted"):
+            load_hmatrix(path)
+        with pytest.raises(PlanStoreError, match="corrupted"):
+            load_inspection_p1(path)
+
+    def test_missing_files(self, tmp_path):
+        with pytest.raises(PlanStoreError, match="does not exist"):
+            load_hmatrix(tmp_path / "nope.npz")
+        with pytest.raises(PlanStoreError, match="does not exist"):
+            load_inspection_p1(tmp_path / "nope.npz")
+
+    def test_wrong_artifact_kind_rejected(self, p1_2d, tmp_path):
+        """Loading a p1 artifact as an HMatrix is a decode failure, not
+        silent garbage."""
+        path = save_inspection_p1(p1_2d, tmp_path / "p1.npz")
+        with pytest.raises(PlanStoreError):
+            load_hmatrix(path)
+
+    def test_plan_store_error_is_runtime_error(self):
+        assert issubclass(PlanStoreError, RuntimeError)
