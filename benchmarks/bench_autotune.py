@@ -1,0 +1,142 @@
+"""Autotuner benchmark: auto vs every fixed policy, plus warm restarts.
+
+Two claims from the ``repro.tuning`` tentpole (ISSUE 5):
+
+1. **Auto is never meaningfully worse than the best fixed policy.** For
+   each swept RHS shape, ``order="auto"`` must land within 10% of the
+   best fixed policy in its candidate grid (it literally *is* one of
+   them after resolution — the margin covers resolution overhead and
+   trial-vs-replay noise), and it must beat the fixed
+   ``DEFAULT_POLICY`` outright on at least one shape unless it chose
+   the default everywhere.
+2. **Profiles persist.** A fresh tuner over the same PlanStore resolves
+   every swept shape with zero re-tunes (``warm_retunes == 0``).
+
+Results land in ``benchmarks/results/autotune.json`` for
+``validate_results.py`` (which enforces both gates on the committed
+artifact unconditionally; the wall-clock assertion here additionally
+relaxes under ``MATROX_BENCH_QUICK`` like every other timing gate).
+"""
+
+import os
+
+import numpy as np
+
+from repro.api.policy import (
+    DEFAULT_POLICY,
+    ExecutionPolicy,
+    effective_cpu_count,
+)
+from repro.api.store import PlanStore
+from repro.core.executor import Executor
+from repro.core.inspector import Inspector
+from repro.datasets import load_dataset
+from repro.kernels import get_kernel
+from repro.tuning import Autotuner
+from repro.tuning.profile import policy_from_knobs, policy_knobs
+
+from conftest import (
+    BENCH_QUICK,
+    PAPER_BACC,
+    bench_n,
+    best_seconds,
+    fmt,
+    print_table,
+    save_results,
+)
+
+DATASET = "grid"
+LEAF = 32
+#: RHS widths swept (one tuning profile per bucket): single vector, the
+#: mid panel, and a wide panel past the default q_chunk.
+SWEEP_Q = tuple(
+    int(q) for q in os.environ.get("MATROX_AUTOTUNE_Q", "1 32 512").split()
+)
+
+
+def _label(knobs: dict) -> str:
+    """Canonical policy label: full knob set, defaults included."""
+    full = policy_knobs(policy_from_knobs(dict(knobs)))
+    return ",".join(f"{k}={v}" for k, v in sorted(full.items()))
+
+
+def test_autotune_auto_vs_fixed(tmp_path_factory):
+    n = bench_n(DATASET)
+    points = load_dataset(DATASET, n=n, seed=0)
+    insp = Inspector(structure="h2-geometric", tau=0.65, bacc=PAPER_BACC,
+                     leaf_size=LEAF, p=4, seed=0)
+    H = insp.run(points, get_kernel("gaussian", bandwidth=5.0))
+
+    store_dir = tmp_path_factory.mktemp("profile-store")
+    tuner = Autotuner(store=PlanStore(store_dir), min_measured_flops=0.0)
+    auto = ExecutionPolicy(order="auto")
+    default_label = _label(policy_knobs(DEFAULT_POLICY))
+
+    rng = np.random.default_rng(0)
+    shapes, rows = {}, []
+    for q in SWEEP_Q:
+        W = rng.random((n, q))
+        fixed_s = {}
+        for knobs in tuner.candidate_policies(H, q):
+            pol = policy_from_knobs(knobs)
+            with Executor(policy=pol) as ex:
+                fixed_s[_label(knobs)] = best_seconds(
+                    lambda: ex.matmul(H, W))
+        with Executor(policy=auto, autotuner=tuner) as ex:
+            ex.matmul(H, W)                 # tunes (and persists) here
+            auto_s = best_seconds(lambda: ex.matmul(H, W))
+            chosen = _label(policy_knobs(tuner.resolve(H, q, auto)))
+
+        best_label, best_s = min(fixed_s.items(), key=lambda kv: kv[1])
+        default_s = fixed_s[default_label]
+        shapes[str(q)] = {
+            "auto_s": auto_s,
+            "auto_policy": chosen,
+            "fixed_s": fixed_s,
+            "best_fixed": best_label,
+            "best_fixed_s": best_s,
+            "default_s": default_s,
+            "auto_over_best_fixed": auto_s / best_s,
+            "auto_over_default": auto_s / default_s,
+        }
+        rows.append([q, chosen, fmt(auto_s * 1e3), best_label,
+                     fmt(best_s * 1e3), fmt(auto_s / best_s),
+                     fmt(auto_s / default_s)])
+
+    # Warm restart: a fresh tuner over the same store must re-tune nothing.
+    warm = Autotuner(store=PlanStore(store_dir), min_measured_flops=0.0)
+    for q in SWEEP_Q:
+        warm.resolve(H, q, auto)
+    warm_retunes = warm.stats.tunes
+
+    print_table(
+        f"Autotune: auto vs fixed policies ({DATASET}, N={n}, "
+        f"{effective_cpu_count()} effective cpus)",
+        ["q", "auto picked", "auto (ms)", "best fixed", "best (ms)",
+         "auto/best", "auto/default"],
+        rows,
+    )
+
+    ratio_max = max(s["auto_over_best_fixed"] for s in shapes.values())
+    beats_default = [q for q, s in shapes.items()
+                     if s["auto_over_default"] < 1.0]
+    always_default = all(s["auto_policy"] == default_label
+                         for s in shapes.values())
+    save_results("autotune", {
+        "dataset": DATASET, "n": n, "sweep_q": list(SWEEP_Q),
+        "cpu_count": os.cpu_count(),
+        "effective_cpu_count": effective_cpu_count(),
+        "shapes": shapes,
+        "auto_over_best_fixed_max": ratio_max,
+        "auto_beats_default_shapes": beats_default,
+        "auto_always_default": always_default,
+        "warm_retunes": warm_retunes,
+        "tunes": tuner.stats.tunes,
+        "trials": tuner.stats.trials,
+    })
+
+    assert warm_retunes == 0, "PlanStore-persisted profiles must warm-start"
+    if not BENCH_QUICK:
+        assert ratio_max <= 1.10, (
+            f"auto is {ratio_max:.2f}x the best fixed policy "
+            f"(gate: within 10%)")

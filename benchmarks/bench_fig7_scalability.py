@@ -12,7 +12,7 @@ import os
 import numpy as np
 import pytest
 
-from repro.api.policy import ExecutionPolicy
+from repro.api.policy import ExecutionPolicy, effective_cpu_count
 from repro.baselines import MatRoxSystem
 from repro.core.executor import Executor
 from repro.core.inspector import Inspector
@@ -187,6 +187,10 @@ def test_fig7_backend_sweep(benchmark):
     save_results("fig7_backend_sweep", {
         "dataset": SWEEP_DATASET, "n": n, "q": SWEEP_Q,
         "cpu_count": os.cpu_count(),
+        # What a default-sized pool (num_workers=None) actually gets:
+        # the affinity/cgroup-aware count, not the machine's.
+        "effective_cpu_count": effective_cpu_count(),
+        "default_engine_workers": effective_cpu_count(),
         "serial_batched_s": t_serial,
         "thread_batched_s": {str(k): t for k, t in thread_t.items()},
         "thread_perblock_s": {str(k): t for k, t in thread_pb_t.items()},

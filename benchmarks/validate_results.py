@@ -88,6 +88,38 @@ def check_file(path: Path) -> list[str]:
             problems.append(
                 f"{path.name}: micro-batched throughput only {best:.2f}x "
                 f"sequential (tentpole gate is >= 1.5x at batch >= 4)")
+    # Semantic gates for the autotuner artifact (ISSUE 5): (a) auto must
+    # never be >10% slower than the best fixed policy on any swept
+    # shape; (b) auto must beat DEFAULT_POLICY outright on >= 1 shape —
+    # unless it (correctly) chose the default everywhere, in which case
+    # there is nothing to beat; (c) PlanStore-persisted profiles must
+    # warm-start with zero re-tunes. All three are algorithmic claims
+    # (the tuner picks among the same measured candidates), so they are
+    # enforced on the committed artifact unconditionally.
+    if path.name == "autotune.json" and isinstance(payload, dict):
+        ratio = payload.get("auto_over_best_fixed_max")
+        if ratio is None:
+            problems.append(
+                f"{path.name}: missing auto_over_best_fixed_max field")
+        elif ratio > 1.10:
+            problems.append(
+                f"{path.name}: auto policy is {ratio:.2f}x the best fixed "
+                f"policy (gate: within 10%)")
+        beats = payload.get("auto_beats_default_shapes")
+        if beats is None:
+            problems.append(
+                f"{path.name}: missing auto_beats_default_shapes field")
+        elif not beats and not payload.get("auto_always_default"):
+            problems.append(
+                f"{path.name}: auto never beat DEFAULT_POLICY yet did not "
+                f"simply choose it — the tuner picked losers")
+        retunes = payload.get("warm_retunes")
+        if retunes is None:
+            problems.append(f"{path.name}: missing warm_retunes field")
+        elif retunes != 0:
+            problems.append(
+                f"{path.name}: {retunes} re-tune(s) after a PlanStore "
+                f"reopen (gate: warm start re-tunes nothing)")
     return problems
 
 

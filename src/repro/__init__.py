@@ -64,6 +64,7 @@ from repro.core.io import (
 )
 from repro.datasets.registry import dataset_names, load_dataset, table1_rows
 from repro.kernels.base import Kernel, get_kernel
+from repro.tuning import Autotuner, TuningProfile, tune
 from repro.solvers import (
     KernelRidgeRegression,
     conjugate_gradient,
@@ -71,7 +72,7 @@ from repro.solvers import (
     power_iteration,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "PlanConfig",
@@ -95,6 +96,9 @@ __all__ = [
     "ProcessEngine",
     "matmul",
     "matmul_many",
+    "Autotuner",
+    "TuningProfile",
+    "tune",
     "compress",
     "CompressionResult",
     "overall_accuracy",

@@ -29,6 +29,8 @@ from repro.api.policy import (
     DEFAULT_POLICY,
     DEFAULT_Q_CHUNK,
     ExecutionPolicy,
+    coalesce_policy,
+    effective_cpu_count,
     resolve_policy,
 )
 
@@ -38,6 +40,8 @@ __all__ = [
     "DEFAULT_POLICY",
     "DEFAULT_Q_CHUNK",
     "resolve_policy",
+    "coalesce_policy",
+    "effective_cpu_count",
     "KernelOperator",
     "LinearOperator",
     "IdentityOperator",

@@ -271,7 +271,8 @@ class KernelOperator(LinearOperator):
 
     # -------------------------------------------------------------- application
     def _apply(self, W, policy):
-        policy = resolve_policy(policy or self.policy)
+        # Identity-against-None, never truthiness (see coalesce_policy).
+        policy = resolve_policy(policy, fallback=self.policy)
         if self._session is not None:
             return self._session.matmul(self.hmatrix, W, policy=policy)
         return self.hmatrix.matmul(W, policy=policy)

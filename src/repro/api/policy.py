@@ -25,6 +25,7 @@ modules can import it without cycles.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, replace
 
 #: Streaming panel width used when a policy does not override ``q_chunk``:
@@ -33,10 +34,44 @@ from dataclasses import dataclass, replace
 DEFAULT_Q_CHUNK = 256
 
 #: The evaluation orders an :class:`ExecutionPolicy` may request.
-VALID_ORDERS = ("batched", "original", "tree")
+#: ``"auto"`` defers the choice to the profile-guided autotuner
+#: (:mod:`repro.tuning`): it resolves to one of the concrete orders (and a
+#: backend/thread/worker/q_chunk setting) before any evaluator runs.
+VALID_ORDERS = ("batched", "original", "tree", "auto")
 
 #: The execution backends an :class:`ExecutionPolicy` may request.
 VALID_BACKENDS = ("thread", "process")
+
+
+def effective_cpu_count() -> int:
+    """CPUs this process may actually run on (never 0).
+
+    ``os.cpu_count()`` reports the machine, not the process: under a
+    cgroup CPU limit or a restricted affinity mask (CI containers,
+    ``taskset``, SLURM), sizing a pool by it oversubscribes the granted
+    cores and stalls. Prefer the scheduler-affinity mask where the
+    platform exposes it.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:  # pragma: no cover - platform quirk
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def coalesce_policy(policy: "ExecutionPolicy | None",
+                    fallback: "ExecutionPolicy") -> "ExecutionPolicy":
+    """``policy`` unless it is ``None`` — identity, never truthiness.
+
+    The one shared resolution helper: ``policy or fallback`` would
+    silently swap an explicitly passed policy for the fallback if an
+    ExecutionPolicy were ever falsy (a future ``__bool__``/``__len__``,
+    or a duck-typed stand-in). Every layer (``Executor``, ``Session``,
+    operators, free functions) routes through this instead.
+    """
+    return policy if policy is not None else fallback
 
 
 @dataclass(frozen=True)
@@ -51,6 +86,13 @@ class ExecutionPolicy:
         rejected batch lowering; ``"original"`` forces the per-block code;
         both treat W rows as being in the user's input point order.
         ``"tree"`` skips the permutations (internal/benchmark use).
+        ``"auto"`` resolves through the profile-guided autotuner
+        (:mod:`repro.tuning`) at evaluation time: a
+        :class:`~repro.tuning.TuningProfile` keyed by HMatrix
+        fingerprint x RHS-width bucket x host signature picks the
+        concrete order/backend/thread/worker/q_chunk setting. Knobs set
+        explicitly alongside ``order="auto"`` are *pinned*: the tuner
+        only chooses among candidates that honor them.
     backend:
         ``"thread"`` (default) runs in-process, optionally over a thread
         pool. ``"process"`` shards the batched engine's CDS row panels
@@ -67,7 +109,8 @@ class ExecutionPolicy:
         overlap on real cores.
     num_workers:
         Worker *processes* for ``backend="process"``. ``None`` picks
-        ``os.cpu_count()``; ``0`` keeps the sharded code path but executes
+        :func:`effective_cpu_count` (the affinity/cgroup-aware count,
+        not the machine's); ``0`` keeps the sharded code path but executes
         every shard in the calling process (no pool).
     q_chunk:
         Streaming panel width (columns per pass) override. ``None`` keeps
@@ -101,6 +144,11 @@ class ExecutionPolicy:
         if self.q_chunk is not None and self.q_chunk < 1:
             raise ValueError(f"q_chunk must be >= 1, got {self.q_chunk}")
 
+    @property
+    def is_auto(self) -> bool:
+        """True when this policy defers to the autotuner (``order="auto"``)."""
+        return self.order == "auto"
+
     def merged(self, order: str | None = None,
                num_threads: int | None = None,
                q_chunk: int | None = None,
@@ -130,14 +178,20 @@ def resolve_policy(policy: ExecutionPolicy | None = None,
                    num_threads: int | None = None,
                    q_chunk: int | None = None,
                    backend: str | None = None,
-                   num_workers: int | None = None) -> ExecutionPolicy:
+                   num_workers: int | None = None,
+                   fallback: ExecutionPolicy | None = None) -> ExecutionPolicy:
     """Fold loose keyword knobs and an optional policy into one policy.
 
-    Explicit keywords win over ``policy``, which wins over
-    :data:`DEFAULT_POLICY`. This is the single resolution rule every entry
-    point (free functions, ``Executor``, ``Session``, CLI) uses.
+    Explicit keywords win over ``policy``, which wins over ``fallback``
+    (a carrier's own default, e.g. an ``Executor``'s), which wins over
+    :data:`DEFAULT_POLICY`. ``None`` is resolved by identity, never
+    truthiness (see :func:`coalesce_policy`). This is the single
+    resolution rule every entry point (free functions, ``Executor``,
+    ``Session``, CLI) uses.
     """
-    return (policy or DEFAULT_POLICY).merged(
+    base = coalesce_policy(policy,
+                           coalesce_policy(fallback, DEFAULT_POLICY))
+    return base.merged(
         order=order, num_threads=num_threads, q_chunk=q_chunk,
         backend=backend, num_workers=num_workers,
     )

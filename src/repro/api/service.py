@@ -311,6 +311,11 @@ class KernelService:
             out[name] = (float(np.percentile(lat, q) * 1e3)
                          if len(lat) else 0.0)
         out["mean_ms"] = float(lat.mean() * 1e3) if len(lat) else 0.0
+        # Auto-policy visibility: with order="auto", each stacked batch
+        # resolves through the session's tuner, and a batch whose total
+        # width drifts into a different bucket tunes a fresh profile —
+        # `tunes` counts exactly those drift re-tunes.
+        out["autotune"] = self.session._executor.autotune_stats()
         return out
 
     # ------------------------------------------------------------- lifecycle

@@ -194,8 +194,10 @@ class Session:
         self.store = store
         # The full policy travels into the executor so a
         # backend="process" session owns its worker pools (torn down,
-        # with their shared-memory segments, on close()).
-        self._executor = Executor(policy=self.policy)
+        # with their shared-memory segments, on close()). The store
+        # travels too: an order="auto" session persists its tuning
+        # profiles next to its plan artifacts and warm-starts both.
+        self._executor = Executor(policy=self.policy, store=self.store)
         self.stats = SessionStats()
 
     # ------------------------------------------------------------- inspection
@@ -274,9 +276,9 @@ class Session:
         """``Y = H @ W`` through the session's pool and policy."""
         # `policy or self.policy` would silently swap an explicitly passed
         # policy object for the session default if it were ever falsy;
-        # identity against None is the contract.
-        base = policy if policy is not None else self.policy
-        policy = resolve_policy(base, **overrides)
+        # identity against None is the contract (the shared helper every
+        # layer uses — see coalesce_policy).
+        policy = resolve_policy(policy, fallback=self.policy, **overrides)
         self.stats.evaluations += 1
         return self._executor.matmul(H, W, policy=policy)
 
@@ -303,8 +305,18 @@ class Session:
 
     # -------------------------------------------------------------- lifecycle
     def cache_info(self) -> dict:
-        """Occupancy + hit counters (session + store) for logs and tests."""
-        return {**self.store.cache_info(), **self.stats.as_dict()}
+        """Occupancy + hit counters (session + store + tuner)."""
+        return {**self.store.cache_info(), **self.stats.as_dict(),
+                "autotune": self._executor.autotune_stats()}
+
+    @property
+    def autotuner(self):
+        """The session executor's autotuner (created on first use).
+
+        Resolves ``order="auto"`` policies; its profiles persist
+        through the session's :class:`~repro.api.store.PlanStore`.
+        """
+        return self._executor.autotuner
 
     def close(self) -> None:
         self._executor.close()

@@ -14,8 +14,9 @@ Design (DESIGN.md section 8):
   PlanConfig fingerprint, kernel identity)`` tuples the Session already
   uses; the store hashes their ``repr`` with SHA-256 into a digest that
   names the on-disk artifact (content addressing, no coordination needed).
-* **Two tiers per entry kind**: phase-1 inspections (``p1``) and finished
-  HMatrices (``hmatrix``), each fronted by its own in-memory LRU.
+* **Two tiers per entry kind**: phase-1 inspections (``p1``), finished
+  HMatrices (``hmatrix``), and autotuner profiles (``profile``, see
+  :mod:`repro.tuning`), each fronted by its own in-memory LRU.
 * **Artifacts are ``<digest>.npz`` payloads** in the existing
   :mod:`repro.core.io` formats **plus a ``<digest>.json`` manifest**
   recording the tier, the key, and the payload's SHA-256. Loads verify the
@@ -50,8 +51,10 @@ from repro.core.io import (
     PlanStoreError,
     load_hmatrix,
     load_inspection_p1,
+    load_tuning_profile,
     save_hmatrix,
     save_inspection_p1,
+    save_tuning_profile,
 )
 
 __all__ = ["PlanStore", "PlanStoreError", "StoreStats"]
@@ -63,6 +66,7 @@ STORE_VERSION = 1
 _TIERS = {
     "p1": (save_inspection_p1, load_inspection_p1),
     "hmatrix": (save_hmatrix, load_hmatrix),
+    "profile": (save_tuning_profile, load_tuning_profile),
 }
 
 
@@ -133,14 +137,16 @@ class PlanStore:
     """
 
     def __init__(self, directory=None, *, max_bytes: int | None = None,
-                 memory_p1: int = 8, memory_hmatrix: int = 16):
+                 memory_p1: int = 8, memory_hmatrix: int = 16,
+                 memory_profile: int = 32):
         if max_bytes is not None and max_bytes < 1:
             raise ValueError(f"max_bytes must be >= 1 or None, got {max_bytes}")
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
         self.max_bytes = max_bytes
-        self._mem = {"p1": _LRU(memory_p1), "hmatrix": _LRU(memory_hmatrix)}
+        self._mem = {"p1": _LRU(memory_p1), "hmatrix": _LRU(memory_hmatrix),
+                     "profile": _LRU(memory_profile)}
         self._lock = threading.RLock()
         self.stats = StoreStats()
 
@@ -211,6 +217,16 @@ class PlanStore:
 
     def put_hmatrix(self, key, H) -> str:
         return self._put("hmatrix", key, H)
+
+    def get_profile(self, key):
+        """Stored tuning-profile dict for ``key`` (None on a miss)."""
+        return self._get("profile", key)
+
+    def put_profile(self, key, profile) -> str:
+        """Persist a tuning profile (dict or TuningProfile) under ``key``."""
+        if hasattr(profile, "to_dict"):
+            profile = profile.to_dict()
+        return self._put("profile", key, profile)
 
     # ------------------------------------------------------------- get / put
     def _get(self, tier: str, key):
@@ -477,6 +493,7 @@ class PlanStore:
             return {
                 "p1_entries": len(self._mem["p1"]),
                 "hmatrix_entries": len(self._mem["hmatrix"]),
+                "profile_entries": len(self._mem["profile"]),
                 "disk_entries": (len(self._manifests())
                                  if self.directory is not None else 0),
                 **self.stats.as_dict(),

@@ -6,7 +6,11 @@ Mirrors the paper's inspector/executor workflow as a tool:
   analysis + codegen), optionally saving the reusable p1 artifacts;
 * ``evaluate`` — load an ``hmat.npz``, multiply with a dense matrix file
   (or random W) under an execution policy (``--order``, ``--threads``,
-  ``--q-chunk``), write/report Y;
+  ``--q-chunk``; ``--order auto`` resolves via the profile-guided
+  autotuner, persisting profiles in ``--store``), write/report Y;
+* ``tune``     — measure the execution-policy grid for a stored HMatrix
+  at the given RHS widths and record
+  :class:`~repro.tuning.TuningProfile` artifacts (``--store``);
 * ``compile``  — inspect point sets into a durable, integrity-checked
   :class:`~repro.api.store.PlanStore` directory (compile once…);
 * ``serve``    — replay a JSON request file through a
@@ -98,7 +102,8 @@ def _make_plan(args) -> PlanConfig:
 def _add_policy_args(p: argparse.ArgumentParser) -> None:
     """Execution-policy flags (resolve against the shared default)."""
     p.add_argument("--order", default=None, choices=list(VALID_ORDERS),
-                   help="evaluation engine/order (default: batched)")
+                   help="evaluation engine/order (default: batched; "
+                        "'auto' resolves via the profile-guided autotuner)")
     p.add_argument("--backend", default=None, choices=list(VALID_BACKENDS),
                    help="execution backend: in-process threads (default) "
                         "or the shared-memory process pool")
@@ -139,6 +144,8 @@ def cmd_inspect(args) -> int:
 
 
 def cmd_evaluate(args) -> int:
+    from repro.api.store import PlanStore
+
     H = load_hmatrix(args.hmatrix)
     if args.w:
         W = np.load(args.w)
@@ -147,10 +154,25 @@ def cmd_evaluate(args) -> int:
     policy = resolve_policy(order=args.order, num_threads=args.threads,
                             q_chunk=args.q_chunk, backend=args.backend,
                             num_workers=args.workers)
-    with Executor(policy=policy) as ex:
+    store = PlanStore(args.store) if getattr(args, "store", None) else None
+    with Executor(policy=policy, store=store) as ex:
         t0 = time.perf_counter()
         Y = ex.matmul(H, W)
         dt = time.perf_counter() - t0
+        if policy.is_auto:
+            # Report the policy the tuner actually ran (and where the
+            # profile came from), not the unresolved "auto".
+            tuner = ex.autotuner
+            q = W.shape[1] if W.ndim == 2 else 1
+            prof = tuner.profile_for(H, q, policy)
+            policy = prof.best_policy()
+            print(f"auto policy -> order={policy.order}, "
+                  f"backend={policy.backend}, "
+                  f"threads={policy.num_threads}, "
+                  f"workers={policy.num_workers}, "
+                  f"q_chunk={policy.q_chunk} "
+                  f"(source={prof.source}, margin {prof.margin:.2f}x, "
+                  f"bucket={prof.width_bucket})")
     gf = H.evaluation_flops(W.shape[1] if W.ndim == 2 else 1) / dt / 1e9
     workers = ""
     if policy.backend == "process":
@@ -261,7 +283,10 @@ def cmd_serve(args) -> int:
             f"request file {args.requests}: requests reference points_id(s) "
             f"{unknown} missing from the 'datasets' section")
     store = PlanStore(args.store) if args.store else None
-    with KernelService(store=store, max_batch=args.max_batch,
+    policy = (resolve_policy(order=args.order)
+              if getattr(args, "order", None) else None)
+    with KernelService(store=store, policy=policy,
+                       max_batch=args.max_batch,
                        max_wait_ms=args.max_wait_ms) as service:
         for pid, spec in doc["datasets"].items():
             service.register(pid, _spec_points(spec),
@@ -292,12 +317,43 @@ def cmd_serve(args) -> int:
     print(f"  inspection: p1_builds={sess.p1_builds}, "
           f"p2_builds={sess.p2_builds}, hmatrix_hits={sess.hmatrix_hits}, "
           f"store_disk_hits={disk_hits}")
+    tune_stats = stats.get("autotune") or {}
+    if tune_stats:
+        print(f"  autotune: tunes={tune_stats['tunes']}, "
+              f"memory_hits={tune_stats['memory_hits']}, "
+              f"store_hits={tune_stats['store_hits']}, "
+              f"profiles={tune_stats['profiles']}")
     if args.expect_warm and (sess.p1_builds or sess.p2_builds):
         print("error: --expect-warm but inspection ran "
               f"(p1_builds={sess.p1_builds}, p2_builds={sess.p2_builds}); "
               "run 'repro compile --requests ... --store ...' first",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from repro.api.store import PlanStore
+    from repro.tuning import Autotuner
+
+    H = load_hmatrix(args.hmatrix)
+    store = PlanStore(args.store) if args.store else None
+    tuner = Autotuner(store=store, reps=args.reps)
+    print(f"host: {', '.join(f'{k}={v}' for k, v in tuner.host.items())}")
+    for q in args.q:
+        prof = tuner.tune(H, q)
+        knobs = ", ".join(f"{k}={v}" for k, v in prof.policy.items())
+        print(f"q={q} (bucket {prof.width_bucket}): winner {knobs} "
+              f"[{prof.source}, margin {prof.margin:.2f}x, "
+              f"trials {prof.trials}]")
+        for cand in prof.candidates:
+            ck = ", ".join(f"{k}={v}" for k, v in cand["policy"].items())
+            kind = "measured" if cand.get("measured") else "predicted"
+            print(f"    {cand['seconds'] * 1e3:9.3f} ms  ({kind})  {ck}")
+    if store is not None:
+        print(f"profiles -> {args.store} "
+              f"({store.cache_info()['disk_entries']} artifact(s) on disk); "
+              f"reuse with: repro evaluate --order auto --store {args.store}")
     return 0
 
 
@@ -351,8 +407,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="random W columns when --w is not given")
     p.add_argument("-o", "--output", default=None, help="store Y as .npy")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--store", default=None,
+                   help="PlanStore directory for --order auto tuning "
+                        "profiles (tuned once, reused across runs)")
     _add_policy_args(p)
     p.set_defaults(fn=cmd_evaluate)
+
+    p = sub.add_parser(
+        "tune",
+        help="measure the execution-policy grid for a stored HMatrix "
+             "and record tuning profiles")
+    p.add_argument("hmatrix", help="hmat.npz from 'inspect'")
+    p.add_argument("-q", type=int, nargs="+", default=[1, 16, 256],
+                   help="RHS widths to tune (one profile per width bucket)")
+    p.add_argument("--store", default=None,
+                   help="PlanStore directory to persist the profiles "
+                        "(served by --order auto)")
+    p.add_argument("--reps", type=int, default=3,
+                   help="timed repetitions per candidate (min-of-reps)")
+    p.set_defaults(fn=cmd_tune)
 
     p = sub.add_parser(
         "compile",
@@ -387,6 +460,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--expect-warm", action="store_true",
                    help="exit non-zero if any inspection ran (proves the "
                         "store served every plan)")
+    p.add_argument("--order", default=None, choices=list(VALID_ORDERS),
+                   help="execution order for served requests ('auto' "
+                        "tunes per width bucket, re-tuning on drift; "
+                        "profiles persist in --store)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("info", help="summarise a stored HMatrix")

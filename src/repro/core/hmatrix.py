@@ -97,6 +97,13 @@ class HMatrix:
         short-lived pool is created for this call.
         """
         pol = resolve_policy(policy, order=order, q_chunk=q_chunk)
+        if pol.is_auto:
+            # Profile-guided resolution (DESIGN.md section 9) through the
+            # process-global tuner: repeated bare H.matmul(W) calls reuse
+            # the profile tuned on the first one. Executor/Session carry
+            # their own (PlanStore-persisted) tuner instead.
+            from repro.tuning import resolve_auto
+            pol = resolve_auto(self, W, pol)
         order, q_chunk = pol.order, pol.q_chunk
         if pol.backend == "process" and pool is None and order != "original":
             # Convenience path: a short-lived pool for this one call. For

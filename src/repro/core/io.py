@@ -386,3 +386,56 @@ def _load_inspection_p1(path) -> InspectionP1:
         far_blockset=_blockset_from_manifest(manifest["far_blockset"]),
         timings={k: float(v) for k, v in manifest.get("timings", {}).items()},
     )
+
+
+# --------------------------------------------------------------------------
+# TuningProfile save / load (repro.tuning's PlanStore artifacts).
+# --------------------------------------------------------------------------
+
+def save_tuning_profile(profile, path) -> Path:
+    """Store a tuning profile (a plain JSON-able dict) to ``path`` (.npz).
+
+    Profiles travel as dicts (see
+    :meth:`repro.tuning.TuningProfile.to_dict`) so this module stays free
+    of a ``repro.tuning`` import; the .npz envelope keeps them on the
+    same atomic-write/SHA-256-manifest PlanStore path as plans.
+    """
+    if hasattr(profile, "to_dict"):
+        profile = profile.to_dict()
+    if not isinstance(profile, dict):
+        raise TypeError(
+            f"expected a TuningProfile or its dict form, got "
+            f"{type(profile).__name__}"
+        )
+    path = Path(path)
+    manifest = {"version": _FORMAT_VERSION, "profile": profile}
+    blob = np.frombuffer(json.dumps(manifest).encode(), dtype=np.uint8)
+    np.savez_compressed(path, manifest=blob)
+    return path
+
+
+def load_tuning_profile(path) -> dict:
+    """Load a tuning-profile dict saved by :func:`save_tuning_profile`.
+
+    ``path`` may also be an open binary file-like. Fails closed: a
+    corrupted, truncated, or version-incompatible file raises
+    :class:`PlanStoreError`.
+    """
+    return _guard_load("tuning-profile", path,
+                       lambda: _load_tuning_profile(path))
+
+
+def _load_tuning_profile(path) -> dict:
+    with np.load(_as_source(path), allow_pickle=False) as data:
+        manifest = json.loads(bytes(data["manifest"]).decode())
+    if manifest.get("version") != _FORMAT_VERSION:
+        raise PlanStoreError(
+            f"unsupported tuning-profile file version "
+            f"{manifest.get('version')} in {path} (this build reads "
+            f"version {_FORMAT_VERSION})"
+        )
+    profile = manifest.get("profile")
+    if not isinstance(profile, dict):
+        raise PlanStoreError(
+            f"tuning-profile artifact {path} holds no profile dict")
+    return profile

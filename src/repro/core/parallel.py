@@ -42,7 +42,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-from repro.api.policy import DEFAULT_Q_CHUNK
+from repro.api.policy import DEFAULT_Q_CHUNK, effective_cpu_count
 
 __all__ = ["ProcessEngine", "default_start_method", "shard_by_weight"]
 
@@ -308,12 +308,21 @@ class ProcessEngine:
                  start_method: str | None = None):
         from repro.codegen.emit import _batched_tree_tables, _rank_offsets
 
-        self.H = H
+        # The engine holds H *weakly* plus direct references to the
+        # arrays it actually needs (the permutation here; the CDS
+        # buffers through the shard plans / shared-memory copies), so
+        # caching an engine in an Executor never pins an HMatrix past
+        # its own lifetime — its collection is the eviction signal.
+        self._H_ref = weakref.ref(H)
         cds = H.cds
+        self._perm = np.asarray(H.tree.perm)
         self.n = cds.dim
         self.q_cap = int(q_chunk or DEFAULT_Q_CHUNK)
         if num_workers is None:
-            num_workers = os.cpu_count() or 1
+            # Affinity/cgroup-aware: os.cpu_count() reports the machine,
+            # not the process, and oversubscribing a restricted CI
+            # container stalls the pool on workers that never run.
+            num_workers = effective_cpu_count()
         self.num_workers = int(num_workers)
         self.calls = 0
         self.chunks = 0
@@ -542,7 +551,7 @@ class ProcessEngine:
                 f"{self.n}"
             )
         self.calls += 1
-        perm = None if order == "tree" else self.H.tree.perm
+        perm = None if order == "tree" else self._perm
         Wt = W if perm is None else W[perm]
         Yt = np.empty_like(Wt)
         for q0 in range(0, max(Wt.shape[1], 1), self.q_cap):
@@ -558,6 +567,16 @@ class ProcessEngine:
             Y = np.empty_like(Yt)
             Y[perm] = Yt
         return Y[:, 0] if squeeze else Y
+
+    @property
+    def H(self):
+        """The engine's HMatrix, or ``None`` once it has been collected.
+
+        Held weakly (see ``__init__``); cache layers compare this
+        against the matrix they were asked about (``engine.H is H``) so
+        a CPython-recycled id can never alias another matrix's engine.
+        """
+        return self._H_ref()
 
     def worker_pids(self) -> list[int]:
         return [p.pid for p in self._workers]

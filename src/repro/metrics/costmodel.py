@@ -123,3 +123,108 @@ def simulate_inspector_seconds(
         "structure_analysis": compress_s * STRUCTURE_ANALYSIS_FRACTION,
         "code_generation": compress_s * CODE_GENERATION_FRACTION,
     }
+
+
+# --------------------------------------------------------------------------
+# Executor policy priors (the repro.tuning seed model).
+#
+# The autotuner's candidate grid is seeded analytically before anything is
+# measured: the same machine-model arithmetic the simulator uses converts
+# an HMatrix's evaluation flop count into a predicted wall time per
+# execution policy. Two uses (see repro.tuning.autotune):
+#
+# * problems below EXECUTOR_TRIVIAL_FLOPS skip measurement entirely — at
+#   that scale trial noise exceeds any policy delta, so the analytically
+#   best candidate is recorded with source="prior";
+# * larger problems measure the candidates in prior order, so the likely
+#   winner is timed first and mispredictions only cost extra trials,
+#   never a wrong *correctness* outcome (every candidate computes the
+#   same product).
+# --------------------------------------------------------------------------
+
+#: Below this many evaluation flops per right-hand-side pass, measured
+#: trials are noise: serve the analytic prior directly (zero trials).
+EXECUTOR_TRIVIAL_FLOPS = 2.0e7
+
+#: The process backend only pays for itself once a pass is at least this
+#: big (pool dispatch + shared-memory traffic amortized); smaller
+#: problems never get a process candidate.
+PROCESS_BACKEND_MIN_FLOPS = 5.0e7
+
+
+def _generic_host_machine(cpus: int) -> MachineModel:
+    """A neutral per-host machine model for the policy prior.
+
+    Only *relative* policy ordering matters here, so a conservative
+    generic core (2.5 GHz, 8 flops/cycle DP) stands in for the real
+    host; the measured trials, not this model, produce the recorded
+    seconds for any problem above the trivial floor.
+    """
+    return MachineModel(
+        name=f"generic-{cpus}c",
+        num_cores=max(1, int(cpus)),
+        freq_ghz=2.5,
+        flops_per_cycle=8.0,
+        dram_bandwidth_gbs=12.0 * max(1, int(cpus)) ** 0.5,
+        single_core_bandwidth_gbs=10.0,
+    )
+
+
+def predict_policy_seconds(knobs: dict, flops: float, q: int,
+                           cpus: int,
+                           machine: MachineModel | None = None) -> float:
+    """Modelled seconds for one ``Y = H @ W`` pass under a policy.
+
+    ``knobs`` is the :func:`repro.tuning.profile.policy_knobs` dict form
+    (order/backend/num_threads/num_workers/q_chunk); ``flops`` the
+    HMatrix's evaluation flop count for ``q`` columns.
+    """
+    machine = machine if machine is not None else _generic_host_machine(cpus)
+    order = knobs.get("order", "batched")
+    backend = knobs.get("backend", "thread")
+    q = max(1, int(q))
+
+    if backend == "process" and order != "original":
+        workers = knobs.get("num_workers") or cpus
+        workers = max(1, min(int(workers), cpus))
+        compute = machine.flop_seconds(
+            flops, cores=workers, efficiency=machine.blas_efficiency)
+        q_chunk = int(knobs.get("q_chunk") or 256)
+        chunks = -(-q // q_chunk)
+        # 3-phase barrier protocol per chunk + one W/Y pass through
+        # shared memory (see repro.core.parallel).
+        sync = chunks * 3.0 * machine.barrier_seconds(workers)
+        traffic = machine.mem_seconds(2.0 * flops / 50.0,
+                                      active_cores=workers)
+        return compute + sync + traffic
+
+    if order in ("batched", "tree"):
+        # One stacked GEMM per shape bucket: large-GEMM efficiency.
+        return machine.flop_seconds(flops, cores=1,
+                                    efficiency=machine.blas_efficiency)
+
+    # Per-block code: skinny per-block GEMMs at small-GEMM efficiency,
+    # optionally over a thread pool (spawn overhead per task wave).
+    threads = knobs.get("num_threads") or 1
+    threads = max(1, min(int(threads), cpus))
+    compute = machine.flop_seconds(
+        flops, cores=threads, efficiency=machine.small_gemm_efficiency)
+    spawn = threads * machine.task_spawn_us * 1e-6 if threads > 1 else 0.0
+    return compute + spawn
+
+
+def executor_policy_priors(candidates, flops: float, q: int, cpus: int,
+                           machine: MachineModel | None = None) -> list:
+    """Rank candidate policy-knob dicts by modelled seconds (best first).
+
+    Returns ``[(knobs, predicted_seconds), ...]`` sorted ascending; ties
+    break toward the earlier candidate (the tuner lists its safest
+    default first).
+    """
+    machine = machine if machine is not None else _generic_host_machine(cpus)
+    scored = [
+        (knobs, predict_policy_seconds(knobs, flops, q, cpus, machine))
+        for knobs in candidates
+    ]
+    order = sorted(range(len(scored)), key=lambda i: (scored[i][1], i))
+    return [scored[i] for i in order]

@@ -72,6 +72,53 @@ class TestEvaluateCommand:
         np.testing.assert_allclose(np.load(y_path), H.matmul(W), atol=1e-12)
 
 
+class TestTuneCommand:
+    @pytest.fixture()
+    def hmat(self, points_file, tmp_path):
+        h = tmp_path / "h.npz"
+        main(["inspect", str(points_file), "-o", str(h),
+              "--leaf-size", "32", "--bandwidth", "0.5"])
+        return h
+
+    def test_tune_prints_ranking_and_persists(self, hmat, tmp_path,
+                                              capsys):
+        store = tmp_path / "profiles"
+        rc = main(["tune", str(hmat), "-q", "4", "32",
+                   "--reps", "1", "--store", str(store)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "winner" in out and "host:" in out
+        assert store.exists()
+        from repro.api.store import PlanStore
+        assert PlanStore(store).cache_info()["disk_entries"] == 2
+
+    def test_evaluate_order_auto_reuses_profiles(self, hmat, tmp_path,
+                                                 capsys):
+        store = tmp_path / "profiles"
+        rc = main(["tune", str(hmat), "-q", "8",
+                   "--reps", "1", "--store", str(store)])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["evaluate", str(hmat), "-q", "8", "--order", "auto",
+                   "--store", str(store)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "auto policy ->" in out
+        assert "order=auto" not in out     # resolved, never run raw
+
+    def test_evaluate_order_auto_without_store(self, hmat, capsys):
+        rc = main(["evaluate", str(hmat), "-q", "4", "--order", "auto"])
+        assert rc == 0
+        assert "auto policy ->" in capsys.readouterr().out
+
+    def test_serve_order_auto(self, request_file, tmp_path, capsys):
+        rc = main(["serve", "--requests", str(request_file),
+                   "--order", "auto", "--max-batch", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "autotune:" in out
+
+
 class TestInfoCommand:
     def test_info(self, points_file, tmp_path, capsys):
         h = tmp_path / "h.npz"

@@ -178,17 +178,21 @@ class TestPoolReuse:
         assert engine.closed
 
     def test_engine_cache_is_bounded(self, points, W):
-        # Engines pin workers + shared memory + a strong HMatrix ref, so
-        # the executor keeps an LRU of at most _max_engines and closes
-        # evictees — a serving Session over many datasets stays bounded.
+        # Engines pin workers + shared memory, so the executor keeps an
+        # LRU of at most _max_engines and closes evictees — a serving
+        # Session over many datasets stays bounded. The HMatrices are
+        # kept alive here: an engine whose HMatrix dies is evicted
+        # immediately by its weakref finalizer (separate test), which
+        # would otherwise empty the cache below the LRU bound.
         pol = ExecutionPolicy(backend="process", num_workers=0)
         with Executor(policy=pol) as ex:
             ex._max_engines = 2
             rng = np.random.default_rng(11)
-            engines = []
+            engines, hmats = [], []
             for _ in range(3):
                 H = inspector(rng.random((300, 2)), kernel="gaussian",
                               structure="h2-geometric", leaf_size=32)
+                hmats.append(H)
                 ex.matmul(H, rng.random((300, 4)))
                 engines.append(ex.engine_for(H))
             assert len(ex._engines) == 2

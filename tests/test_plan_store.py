@@ -287,8 +287,8 @@ class TestThreadSafety:
         assert len(store.entries()) == 20
 
 
-def test_tier_registry_covers_both_formats():
-    assert set(_TIERS) == {"p1", "hmatrix"}
+def test_tier_registry_covers_all_formats():
+    assert set(_TIERS) == {"p1", "hmatrix", "profile"}
 
 
 def test_session_rejects_sizes_with_existing_store(tmp_path):
