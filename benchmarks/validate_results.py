@@ -21,6 +21,17 @@ from pathlib import Path
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def _load_manifest_validator():
+    """The repro schema validator, importable with or without an
+    installed package (CI runs this file directly, without PYTHONPATH)."""
+    try:
+        from repro.observability import validate_run_manifest
+    except ImportError:
+        sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+        from repro.observability import validate_run_manifest
+    return validate_run_manifest
+
+
 def iter_numbers(obj, path="$"):
     """Yield (json-path, value) for every number in a parsed JSON tree."""
     if isinstance(obj, bool):
@@ -120,6 +131,17 @@ def check_file(path: Path) -> list[str]:
             problems.append(
                 f"{path.name}: {retunes} re-tune(s) after a PlanStore "
                 f"reopen (gate: warm start re-tunes nothing)")
+    # The serve-smoke run manifest must conform to the checked-in JSON
+    # schema — an observability artifact nobody can parse is no
+    # observability at all — and must prove the run actually served.
+    if path.name == "run_manifest.json" and isinstance(payload, dict):
+        for problem in _load_manifest_validator()(payload):
+            problems.append(f"{path.name}: schema violation: {problem}")
+        served = (payload.get("stats", {}).get("service", {})
+                  .get("served", 0))
+        if not problems and served < 1:
+            problems.append(
+                f"{path.name}: manifest records no served requests")
     return problems
 
 

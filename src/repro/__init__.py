@@ -47,7 +47,7 @@ from repro.compression.compressor import CompressionResult, compress
 from repro.core.accuracy import overall_accuracy, relative_error
 from repro.core.executor import Executor, matmul, matmul_many
 from repro.core.hmatrix import HMatrix
-from repro.core.parallel import ProcessEngine
+from repro.core.parallel import ProcessEngine, WorkerCrashError
 from repro.core.inspector import (
     InspectionP1,
     Inspector,
@@ -64,6 +64,14 @@ from repro.core.io import (
 )
 from repro.datasets.registry import dataset_names, load_dataset, table1_rows
 from repro.kernels.base import Kernel, get_kernel
+from repro.observability import (
+    FaultPlan,
+    RunManifest,
+    build_run_manifest,
+    collect_stats,
+    inject_faults,
+    metrics_text,
+)
 from repro.tuning import Autotuner, TuningProfile, tune
 from repro.solvers import (
     KernelRidgeRegression,
@@ -72,7 +80,7 @@ from repro.solvers import (
     power_iteration,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "PlanConfig",
@@ -94,8 +102,15 @@ __all__ = [
     "HMatrix",
     "Executor",
     "ProcessEngine",
+    "WorkerCrashError",
     "matmul",
     "matmul_many",
+    "RunManifest",
+    "build_run_manifest",
+    "collect_stats",
+    "metrics_text",
+    "FaultPlan",
+    "inject_faults",
     "Autotuner",
     "TuningProfile",
     "tune",

@@ -32,6 +32,7 @@ import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -94,6 +95,12 @@ class KernelService:
         How long the dispatcher lingers for stragglers when fewer than
         ``max_batch`` compatible requests are queued. 0 batches only
         what is already queued.
+    manifest:
+        Write a :class:`~repro.observability.RunManifest` at
+        :meth:`close` (best-effort — a failed write never fails the
+        close). ``True`` writes under ``manifests/`` next to the
+        session's store (requires a disk-backed one); a path writes
+        there instead (a ``.json`` path names the exact file).
 
     Thread-safety contract: ``submit``/``request``/``stats`` may be
     called from any thread; all Session/Executor access happens on the
@@ -106,7 +113,8 @@ class KernelService:
                  policy: ExecutionPolicy | None = None,
                  num_threads: int | None = None,
                  max_batch: int = 8, max_wait_ms: float = 2.0,
-                 latency_window: int = 10_000):
+                 latency_window: int = 10_000,
+                 manifest: bool | str | Path = False):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_wait_ms < 0:
@@ -118,6 +126,23 @@ class KernelService:
         self.session = session
         self.max_batch = int(max_batch)
         self.max_wait = float(max_wait_ms) / 1e3
+        self._manifest_target: Path | None = None
+        self._manifest_written = False
+        #: Where close() actually wrote the run manifest (None until
+        #: then, and still None when the best-effort write failed).
+        self.manifest_path: Path | None = None
+        if manifest:
+            if manifest is True:
+                if self.session.store.directory is None:
+                    raise ValueError(
+                        "manifest=True writes next to the store and needs "
+                        "a disk-backed one; pass manifest=<path> for a "
+                        "memory-only service"
+                    )
+                self._manifest_target = (
+                    self.session.store.directory / "manifests")
+            else:
+                self._manifest_target = Path(manifest)
 
         self._endpoints: dict[str, _Endpoint] = {}
         self._queue: deque[_Pending] = deque()
@@ -132,6 +157,7 @@ class KernelService:
         self._max_queue_depth = 0
         self._served = 0
         self._errors = 0
+        self._dispatcher_crashes = 0
 
         self._dispatcher = threading.Thread(
             target=self._loop, name="kernel-service-dispatcher", daemon=True)
@@ -235,25 +261,55 @@ class KernelService:
         return batch
 
     def _loop(self) -> None:
-        while True:
-            with self._cv:
-                while not self._queue and not self._closed:
-                    self._cv.wait()
-                if not self._queue:
-                    return  # closed and fully drained
-                if (self.max_batch > 1 and self.max_wait > 0
-                        and not self._closed
-                        and len(self._queue) < self.max_batch):
-                    # Linger briefly so a burst coalesces into one batch.
-                    deadline = time.perf_counter() + self.max_wait
-                    while (len(self._queue) < self.max_batch
-                           and not self._closed):
-                        remaining = deadline - time.perf_counter()
-                        if remaining <= 0:
-                            break
-                        self._cv.wait(remaining)
-                batch = self._take_batch()
-            self._execute(batch)
+        # _execute already fences per-batch errors into Futures, so
+        # anything escaping to here is a defect in the dispatch machinery
+        # itself (e.g. _take_batch). Without the except, the thread would
+        # die silently and every queued Future would hang forever;
+        # instead the service fails closed: pending requests complete
+        # with ServiceClosed and later submits are refused.
+        try:
+            while True:
+                with self._cv:
+                    while not self._queue and not self._closed:
+                        self._cv.wait()
+                    if not self._queue:
+                        return  # closed and fully drained
+                    if (self.max_batch > 1 and self.max_wait > 0
+                            and not self._closed
+                            and len(self._queue) < self.max_batch):
+                        # Linger briefly so a burst coalesces into one
+                        # batch.
+                        deadline = time.perf_counter() + self.max_wait
+                        while (len(self._queue) < self.max_batch
+                               and not self._closed):
+                            remaining = deadline - time.perf_counter()
+                            if remaining <= 0:
+                                break
+                            self._cv.wait(remaining)
+                    batch = self._take_batch()
+                self._execute(batch)
+        except BaseException as exc:
+            self._dispatcher_failed(exc)
+            raise
+
+    def _dispatcher_failed(self, exc: BaseException) -> None:
+        """Fail closed after a dispatcher crash: refuse new requests and
+        complete every still-queued Future with ServiceClosed (chained to
+        the crash) rather than leaving callers hung on result()."""
+        with self._cv:
+            self._dispatcher_crashes += 1
+            self._closed = True
+            pending = list(self._queue)
+            self._queue.clear()
+            self._errors += len(pending)
+            self._cv.notify_all()
+        wrapped = ServiceClosed(
+            f"dispatcher crashed ({type(exc).__name__}: {exc}); "
+            f"queued request abandoned")
+        wrapped.__cause__ = exc
+        for p in pending:
+            if p.future.set_running_or_notify_cancel():
+                p.future.set_exception(wrapped)
 
     def _execute(self, batch: list[_Pending]) -> None:
         # Transition every future to RUNNING, dropping any the caller
@@ -293,8 +349,13 @@ class KernelService:
             p.future.set_result(y[:, 0] if p.squeeze else y)
 
     # --------------------------------------------------------------- metrics
-    def stats(self) -> dict:
-        """Serving metrics: latency percentiles, batching, queue depth."""
+    def stats(self, include_autotune: bool = True) -> dict:
+        """Serving metrics: latency percentiles, batching, queue depth.
+
+        ``include_autotune=False`` omits the nested tuner dict — the
+        manifest builder records tuner counters under their own key and
+        must not double-count them here.
+        """
         with self._cv:
             lat = np.asarray(self._latencies, dtype=float)
             sizes = np.asarray(self._batch_sizes, dtype=float)
@@ -306,16 +367,19 @@ class KernelService:
                 "batches": int(len(sizes)),
                 "mean_batch": float(sizes.mean()) if len(sizes) else 0.0,
                 "max_batch_observed": int(sizes.max()) if len(sizes) else 0,
+                "dispatcher_crashes": self._dispatcher_crashes,
+                "dispatcher_alive": self._dispatcher.is_alive(),
             }
         for name, q in (("p50_ms", 50), ("p99_ms", 99)):
             out[name] = (float(np.percentile(lat, q) * 1e3)
                          if len(lat) else 0.0)
         out["mean_ms"] = float(lat.mean() * 1e3) if len(lat) else 0.0
-        # Auto-policy visibility: with order="auto", each stacked batch
-        # resolves through the session's tuner, and a batch whose total
-        # width drifts into a different bucket tunes a fresh profile —
-        # `tunes` counts exactly those drift re-tunes.
-        out["autotune"] = self.session._executor.autotune_stats()
+        if include_autotune:
+            # Auto-policy visibility: with order="auto", each stacked
+            # batch resolves through the session's tuner, and a batch
+            # whose total width drifts into a different bucket tunes a
+            # fresh profile — `tunes` counts exactly those drift re-tunes.
+            out["autotune"] = self.session._executor.autotune_stats()
         return out
 
     # ------------------------------------------------------------- lifecycle
@@ -326,11 +390,34 @@ class KernelService:
         borrowed ones are left running.
         """
         with self._cv:
-            if self._closed and not self._dispatcher.is_alive():
-                return
+            already_down = self._closed and not self._dispatcher.is_alive()
             self._closed = True
             self._cv.notify_all()
-        self._dispatcher.join(timeout)
+        if not already_down:
+            self._dispatcher.join(timeout)
+        if not self._dispatcher.is_alive():
+            # Safety net: anything still queued can never run now (the
+            # dispatcher is gone) — complete it with ServiceClosed
+            # rather than leaving the caller hung on result().
+            with self._cv:
+                pending = list(self._queue)
+                self._queue.clear()
+                self._errors += len(pending)
+            for p in pending:
+                if p.future.set_running_or_notify_cancel():
+                    p.future.set_exception(ServiceClosed(
+                        "service closed before the request was dispatched"))
+            if self._manifest_target is not None \
+                    and not self._manifest_written:
+                # Stats must be collected while the (possibly owned)
+                # session is still open; the write itself is best-effort.
+                self._manifest_written = True
+                from repro.observability.manifest import (
+                    build_run_manifest,
+                    write_run_manifest,
+                )
+                self.manifest_path = write_run_manifest(
+                    build_run_manifest(service=self), self._manifest_target)
         # Only tear the session (pools, process engines) down once the
         # dispatcher has actually exited — a timed-out join means a batch
         # is still inside session.matmul.

@@ -156,6 +156,14 @@ class Session:
         disk-backed store every inspection artifact is persisted and a
         fresh ``Session(store=...)`` warm-starts from disk: its first
         ``matmul`` runs with ``p1_builds == p2_builds == 0``.
+    manifest:
+        Write a :class:`~repro.observability.RunManifest` at
+        :meth:`close`, **best-effort** (a failed write never fails the
+        run; it increments
+        :func:`~repro.observability.manifest_write_failures`).
+        ``True`` writes ``run-<run_id>.json`` under ``manifests/`` next
+        to the store (requires a disk-backed store); a path writes
+        there instead (a ``.json`` path names the exact file).
 
     Use as a context manager (or call :meth:`close`) to release the pool.
     """
@@ -165,7 +173,8 @@ class Session:
                  num_threads: int | None = None,
                  p1_cache_size: int | None = None,
                  hmatrix_cache_size: int | None = None,
-                 store: PlanStore | str | Path | None = None):
+                 store: PlanStore | str | Path | None = None,
+                 manifest: bool | str | Path = False):
         self.plan = plan if plan is not None else PlanConfig()
         self.policy = resolve_policy(policy, num_threads=num_threads)
         # Resolve/validate the store BEFORE constructing the Executor: a
@@ -192,6 +201,18 @@ class Session:
                 f"got {type(store).__name__}"
             )
         self.store = store
+        self._manifest_target: Path | None = None
+        if manifest:
+            if manifest is True:
+                if self.store.directory is None:
+                    raise ValueError(
+                        "manifest=True writes next to the store and needs "
+                        "a disk-backed one; pass manifest=<path> for a "
+                        "memory-only session"
+                    )
+                self._manifest_target = self.store.directory / "manifests"
+            else:
+                self._manifest_target = Path(manifest)
         # The full policy travels into the executor so a
         # backend="process" session owns its worker pools (torn down,
         # with their shared-memory segments, on close()). The store
@@ -199,6 +220,7 @@ class Session:
         # profiles next to its plan artifacts and warm-starts both.
         self._executor = Executor(policy=self.policy, store=self.store)
         self.stats = SessionStats()
+        self._closed = False
 
     # ------------------------------------------------------------- inspection
     def _resolve_plan(self, plan, bacc) -> PlanConfig:
@@ -305,9 +327,10 @@ class Session:
 
     # -------------------------------------------------------------- lifecycle
     def cache_info(self) -> dict:
-        """Occupancy + hit counters (session + store + tuner)."""
+        """Occupancy + hit counters (session + store + tuner + engines)."""
         return {**self.store.cache_info(), **self.stats.as_dict(),
-                "autotune": self._executor.autotune_stats()}
+                "autotune": self._executor.autotune_stats(),
+                "engines": self._executor.engine_stats()}
 
     @property
     def autotuner(self):
@@ -319,6 +342,21 @@ class Session:
         return self._executor.autotuner
 
     def close(self) -> None:
+        """Release pools; write the run manifest first when configured.
+
+        Idempotent — the manifest is written at most once. The write is
+        best-effort by contract: an unwritable target never turns a
+        successful run into a failed close.
+        """
+        if not self._closed:
+            self._closed = True
+            if self._manifest_target is not None:
+                from repro.observability.manifest import (
+                    build_run_manifest,
+                    write_run_manifest,
+                )
+                write_run_manifest(build_run_manifest(session=self),
+                                   self._manifest_target)
         self._executor.close()
 
     def __enter__(self) -> "Session":

@@ -56,6 +56,7 @@ from repro.core.io import (
     save_inspection_p1,
     save_tuning_profile,
 )
+from repro.observability.faults import active_fault_plan
 
 __all__ = ["PlanStore", "PlanStoreError", "StoreStats"]
 
@@ -80,6 +81,10 @@ class StoreStats:
     puts: int = 0
     evictions: int = 0
     integrity_failures: int = 0
+    quarantined: int = 0
+    gc_runs: int = 0
+    gc_removed: int = 0
+    gc_reclaimed_bytes: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -99,6 +104,9 @@ class _LRU:
             return None
         self._data.move_to_end(key)
         return self._data[key]
+
+    def pop(self, key) -> None:
+        self._data.pop(key, None)
 
     def put(self, key, value):
         self._data[key] = value
@@ -252,16 +260,20 @@ class PlanStore:
             try:
                 manifest = self._read_manifest(manifest_path)
                 if manifest.get("tier") != tier:
+                    # Keys hash the tier into the digest, so a mismatch
+                    # means the manifest content itself was rewritten.
                     self._integrity_error(
                         f"manifest {manifest_path} records tier "
-                        f"{manifest.get('tier')!r}, expected {tier!r}")
+                        f"{manifest.get('tier')!r}, expected {tier!r}",
+                        quarantine=True)
                 value = self._verified_load(tier, payload_path, manifest)
-            except PlanStoreError:
+            except PlanStoreError as exc:
                 if not manifest_path.exists():
                     # A concurrent evictor deleted the entry mid-read:
                     # that is a clean miss, not corruption.
                     self.stats.misses += 1
                     return None
+                self._quarantine_if_flagged(exc, manifest_path)
                 raise
             self._touch(manifest_path)  # LRU recency for eviction
             self._mem[tier].put(digest, (repr(key), value))
@@ -286,23 +298,48 @@ class PlanStore:
         return digest
 
     # ------------------------------------------------------------ disk layer
-    def _integrity_error(self, message: str):
+    def _integrity_error(self, message: str, *, quarantine: bool = False,
+                         cause: Exception | None = None):
+        """Fail closed. ``quarantine=True`` marks the error as *artifact
+        corruption* (vs. e.g. version skew, which other builds may still
+        read): the caller then deletes the entry so the next request is
+        a clean miss that rebuilds — fail closed now, recover on retry.
+        """
         self.stats.integrity_failures += 1
-        raise PlanStoreError(message)
+        exc = PlanStoreError(message)
+        exc.quarantine = quarantine
+        raise exc from cause
+
+    def _quarantine_if_flagged(self, exc: Exception,
+                               manifest_path: Path) -> None:
+        if getattr(exc, "quarantine", False):
+            # Manifest first: its absence makes the entry a miss even if
+            # the payload unlink loses a race.
+            manifest_path.unlink(missing_ok=True)
+            manifest_path.with_suffix(".npz").unlink(missing_ok=True)
+            self._mem_drop(manifest_path.stem)
+            self.stats.quarantined += 1
+
+    def _mem_drop(self, digest: str) -> None:
+        for mem in self._mem.values():
+            mem.pop(digest)
 
     def _read_manifest(self, manifest_path: Path) -> dict:
         try:
             manifest = json.loads(manifest_path.read_text())
         except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
-            self.stats.integrity_failures += 1
-            raise PlanStoreError(
+            self._integrity_error(
                 f"store manifest {manifest_path} is unreadable or not JSON "
-                f"({type(exc).__name__}: {exc})"
-            ) from exc
+                f"({type(exc).__name__}: {exc})",
+                quarantine=True, cause=exc)
         if not isinstance(manifest, dict) or "sha256" not in manifest:
             self._integrity_error(
-                f"store manifest {manifest_path} is missing its sha256 field")
+                f"store manifest {manifest_path} is missing its sha256 "
+                f"field", quarantine=True)
         if manifest.get("store_version") != STORE_VERSION:
+            # Version skew is NOT corruption: another build may read this
+            # artifact fine, so it is never quarantined (gc() evicts
+            # skewed artifacts explicitly, on request).
             self._integrity_error(
                 f"store manifest {manifest_path} has version "
                 f"{manifest.get('store_version')!r}; this build reads "
@@ -313,26 +350,30 @@ class PlanStore:
         try:
             payload = payload_path.read_bytes()
         except OSError as exc:
-            self.stats.integrity_failures += 1
-            raise PlanStoreError(
+            self._integrity_error(
                 f"store payload {payload_path} is unreadable although its "
-                f"manifest exists ({exc})"
-            ) from exc
+                f"manifest exists ({exc})", quarantine=True, cause=exc)
         actual = hashlib.sha256(payload).hexdigest()
         if actual != manifest["sha256"]:
             self._integrity_error(
                 f"store payload {payload_path} failed its SHA-256 integrity "
                 f"check (expected {manifest['sha256'][:12]}…, got "
                 f"{actual[:12]}…); refusing to serve a tampered or torn "
-                f"artifact")
+                f"artifact", quarantine=True)
+        # Chaos hook: rot the bytes *between* verification and decode —
+        # the TOCTOU window an on-disk tamper test cannot reach. No plan
+        # installed (production, always) is a single None check.
+        plan = active_fault_plan()
+        if plan is not None and plan.take_corrupt(tier):
+            payload = payload[:max(len(payload) // 2, 1)]
         try:
             # Decode the bytes already read for the integrity check; the
             # payload file is not read twice.
             return _TIERS[tier][1](io.BytesIO(payload))
         except PlanStoreError as exc:
-            self.stats.integrity_failures += 1
-            raise PlanStoreError(
-                f"store payload {payload_path}: {exc}") from exc
+            self._integrity_error(
+                f"store payload {payload_path}: {exc}",
+                quarantine=True, cause=exc)
 
     def _write(self, directory: Path, tier: str, digest: str,
                key_repr: str, value) -> None:
@@ -435,9 +476,10 @@ class PlanStore:
             for manifest_path in self._manifests_by_mtime():
                 try:
                     manifest = self._read_manifest(manifest_path)
-                except PlanStoreError:
+                except PlanStoreError as exc:
                     if not manifest_path.exists():
                         continue  # concurrently evicted, not corrupt
+                    self._quarantine_if_flagged(exc, manifest_path)
                     raise
                 tier = manifest.get("tier")
                 if tier not in _TIERS:
@@ -448,9 +490,10 @@ class PlanStore:
                 try:
                     value = self._verified_load(tier, payload_path,
                                                 manifest)
-                except PlanStoreError:
+                except PlanStoreError as exc:
                     if not manifest_path.exists():
                         continue  # concurrently evicted mid-load
+                    self._quarantine_if_flagged(exc, manifest_path)
                     raise
                 self._mem[tier].put(manifest_path.stem,
                                     (manifest.get("key", ""), value))
@@ -485,6 +528,105 @@ class PlanStore:
         with self._lock:
             for mem in self._mem.values():
                 mem.clear()
+
+    def gc(self, max_age: float | None = None, *,
+           keep_other_versions: bool = False, dry_run: bool = False,
+           now: float | None = None) -> dict:
+        """Evict artifacts by age and version skew; report reclaimed bytes.
+
+        Removes, and reports the bytes of:
+
+        * artifacts not *used* (manifest mtime — touched on every get)
+          within the last ``max_age`` seconds (``None`` disables age
+          eviction);
+        * artifacts written by a different store-layout version (this
+          build cannot read them; pass ``keep_other_versions=True`` to
+          preserve them for the build that can);
+        * unreadable manifests, and orphaned payloads whose manifest is
+          gone (both are unserveable debris — orphans get the same
+          conservative 1-hour grace as temp files, so a concurrent
+          writer between its payload and manifest renames is safe);
+        * run manifests under ``manifests/`` older than ``max_age``.
+
+        ``dry_run=True`` reports without deleting. Returns a report dict
+        (``scanned``/``removed``/``kept``/``reclaimed_bytes``/
+        ``run_manifests_removed``); cumulative totals land in
+        :class:`StoreStats` (``gc_runs``/``gc_removed``/
+        ``gc_reclaimed_bytes``).
+        """
+        report = {"scanned": 0, "removed": 0, "kept": 0,
+                  "reclaimed_bytes": 0, "run_manifests_removed": 0}
+        if self.directory is None:
+            return report
+        if max_age is not None and max_age < 0:
+            raise ValueError(f"max_age must be >= 0 or None, got {max_age}")
+        now = time.time() if now is None else float(now)
+        with self._lock:
+            for manifest_path in self._manifests():
+                report["scanned"] += 1
+                payload_path = manifest_path.with_suffix(".npz")
+                try:
+                    stat = manifest_path.stat()
+                except OSError:
+                    continue  # concurrently evicted
+                size = stat.st_size
+                if payload_path.exists():
+                    size += payload_path.stat().st_size
+                try:
+                    manifest = json.loads(manifest_path.read_text())
+                    version = (manifest.get("store_version")
+                               if isinstance(manifest, dict) else None)
+                    readable = True
+                except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+                    version, readable = None, False
+                if not readable:
+                    pass  # unserveable debris, always collected
+                elif version != STORE_VERSION and keep_other_versions:
+                    report["kept"] += 1
+                    continue
+                elif version == STORE_VERSION and (
+                        max_age is None or now - stat.st_mtime <= max_age):
+                    report["kept"] += 1
+                    continue
+                report["removed"] += 1
+                report["reclaimed_bytes"] += size
+                if not dry_run:
+                    manifest_path.unlink(missing_ok=True)
+                    payload_path.unlink(missing_ok=True)
+                    self._mem_drop(manifest_path.stem)
+            for payload_path in self.directory.glob("*.npz"):
+                if (".tmp." in payload_path.name
+                        or payload_path.with_suffix(".json").exists()):
+                    continue
+                try:
+                    stat = payload_path.stat()
+                except OSError:
+                    continue
+                if now - stat.st_mtime <= 3600.0:
+                    continue  # writer grace: manifest rename may be next
+                report["scanned"] += 1
+                report["removed"] += 1
+                report["reclaimed_bytes"] += stat.st_size
+                if not dry_run:
+                    payload_path.unlink(missing_ok=True)
+            manifests_dir = self.directory / "manifests"
+            if max_age is not None and manifests_dir.is_dir():
+                for run_path in manifests_dir.glob("run-*.json"):
+                    try:
+                        stat = run_path.stat()
+                    except OSError:
+                        continue
+                    if now - stat.st_mtime <= max_age:
+                        continue
+                    report["run_manifests_removed"] += 1
+                    report["reclaimed_bytes"] += stat.st_size
+                    if not dry_run:
+                        run_path.unlink(missing_ok=True)
+            if not dry_run:
+                self.stats.gc_runs += 1
+                self.stats.gc_removed += report["removed"]
+                self.stats.gc_reclaimed_bytes += report["reclaimed_bytes"]
+        return report
 
     # ------------------------------------------------------------- reporting
     def cache_info(self) -> dict:

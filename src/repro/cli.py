@@ -16,6 +16,12 @@ Mirrors the paper's inspector/executor workflow as a tool:
 * ``serve``    — replay a JSON request file through a
   :class:`~repro.api.service.KernelService` warm-started from a store
   (…serve forever); ``--expect-warm`` fails if any inspection ran;
+  ``--manifest`` writes a schema-validated
+  :class:`~repro.observability.RunManifest` at close;
+* ``stats``    — offline inventory of a PlanStore directory, as
+  ``/metrics``-style text or JSON (tolerates rot and version skew);
+* ``gc``       — age/version-based PlanStore eviction with
+  reclaimed-byte reporting (``--dry-run`` previews);
 * ``info``     — print the structural summary of a stored HMatrix;
 * ``datasets`` — regenerate Table 1 / emit a synthetic dataset to .npy.
 
@@ -282,12 +288,18 @@ def cmd_serve(args) -> int:
         raise SystemExit(
             f"request file {args.requests}: requests reference points_id(s) "
             f"{unknown} missing from the 'datasets' section")
+    manifest = getattr(args, "manifest", None) or False
+    if manifest is True and not args.store:
+        raise SystemExit(
+            "serve: --manifest without a path writes next to the store; "
+            "give --store or an explicit --manifest PATH")
     store = PlanStore(args.store) if args.store else None
     policy = (resolve_policy(order=args.order)
               if getattr(args, "order", None) else None)
     with KernelService(store=store, policy=policy,
                        max_batch=args.max_batch,
-                       max_wait_ms=args.max_wait_ms) as service:
+                       max_wait_ms=args.max_wait_ms,
+                       manifest=manifest) as service:
         for pid, spec in doc["datasets"].items():
             service.register(pid, _spec_points(spec),
                              kernel=_kernel_from_spec(spec),
@@ -323,12 +335,51 @@ def cmd_serve(args) -> int:
               f"memory_hits={tune_stats['memory_hits']}, "
               f"store_hits={tune_stats['store_hits']}, "
               f"profiles={tune_stats['profiles']}")
+    if manifest:
+        if service.manifest_path is not None:
+            print(f"  run manifest -> {service.manifest_path}")
+        else:
+            print("  warning: run manifest write failed (best-effort)",
+                  file=sys.stderr)
     if args.expect_warm and (sess.p1_builds or sess.p2_builds):
         print("error: --expect-warm but inspection ran "
               f"(p1_builds={sess.p1_builds}, p2_builds={sess.p2_builds}); "
               "run 'repro compile --requests ... --store ...' first",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from repro.observability.stats import metrics_text, store_inventory
+
+    directory = Path(args.store)
+    if not directory.is_dir():
+        print(f"stats: no store directory at {args.store}", file=sys.stderr)
+        return 2
+    inv = store_inventory(directory)
+    if args.json:
+        print(json.dumps(inv, indent=2, sort_keys=True))
+    else:
+        print(metrics_text(inv, prefix="repro_store"), end="")
+    return 0
+
+
+def cmd_gc(args) -> int:
+    from repro.api.store import PlanStore
+
+    if not Path(args.store).is_dir():
+        print(f"gc: no store directory at {args.store}", file=sys.stderr)
+        return 2
+    store = PlanStore(args.store)
+    report = store.gc(max_age=args.max_age,
+                      keep_other_versions=args.keep_other_versions,
+                      dry_run=args.dry_run)
+    verb = "would reclaim" if args.dry_run else "reclaimed"
+    print(f"gc {args.store}: scanned {report['scanned']}, removed "
+          f"{report['removed']} artifact(s) + {report['run_manifests_removed']}"
+          f" run manifest(s), kept {report['kept']}, {verb} "
+          f"{report['reclaimed_bytes']} bytes")
     return 0
 
 
@@ -464,7 +515,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="execution order for served requests ('auto' "
                         "tunes per width bucket, re-tuning on drift; "
                         "profiles persist in --store)")
+    p.add_argument("--manifest", nargs="?", const=True, default=None,
+                   metavar="PATH",
+                   help="write a RunManifest at close: to PATH (a .json "
+                        "file or a directory), or, with no value, under "
+                        "manifests/ next to --store")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "stats",
+        help="offline PlanStore inventory (/metrics-style text or JSON)")
+    p.add_argument("--store", required=True,
+                   help="PlanStore directory to inventory")
+    p.add_argument("--json", action="store_true",
+                   help="print the inventory as JSON instead of metrics "
+                        "lines")
+    p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser(
+        "gc",
+        help="evict aged/skewed PlanStore artifacts, report reclaimed "
+             "bytes")
+    p.add_argument("--store", required=True, help="PlanStore directory")
+    p.add_argument("--max-age", type=float, default=None, metavar="SECONDS",
+                   help="evict artifacts (and run manifests) whose "
+                        "manifest is older than this many seconds")
+    p.add_argument("--keep-other-versions", action="store_true",
+                   help="keep artifacts written by other store versions "
+                        "(default: evict them)")
+    p.add_argument("--dry-run", action="store_true",
+                   help="report what would be removed without removing it")
+    p.set_defaults(fn=cmd_gc)
 
     p = sub.add_parser("info", help="summarise a stored HMatrix")
     p.add_argument("hmatrix")

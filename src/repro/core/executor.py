@@ -48,6 +48,7 @@ def _evict_engine(executor_ref, key) -> None:
         return
     entry = executor._engines.pop(key, None)
     if entry is not None:
+        executor.engines_evicted += 1
         entry[0].close()
 
 
@@ -93,6 +94,12 @@ class Executor:
         self._max_engines = 4
         self._store = store
         self._autotuner = autotuner
+        # Engine-cache lifecycle counters (the observability layer's
+        # window into pool behaviour; a respawn is the recovery proof
+        # after a WorkerCrashError closed an engine).
+        self.engines_built = 0
+        self.engine_respawns = 0
+        self.engines_evicted = 0
 
     # -------------------------------------------------------------- tuning
     @property
@@ -142,12 +149,17 @@ class Executor:
         if entry is not None:
             engine, finalizer = entry
             if engine.closed or engine.H is not H:
+                if engine.closed and engine.H is H:
+                    # Same matrix, dead pool (a WorkerCrashError closed
+                    # it): the rebuild below IS the recovery respawn.
+                    self.engine_respawns += 1
                 finalizer.detach()
                 engine.close()
                 entry = None
         if entry is None:
             engine = ProcessEngine(H, num_workers=pol.num_workers,
                                    q_chunk=pol.q_chunk)
+            self.engines_built += 1
             finalizer = weakref.finalize(
                 H, _evict_engine, weakref.ref(self), key)
             entry = (engine, finalizer)
@@ -159,7 +171,17 @@ class Executor:
             # close) a successor entry that reused its id.
             old_finalizer.detach()
             old_engine.close()
+            self.engines_evicted += 1
         return entry[0]
+
+    def engine_stats(self) -> dict:
+        """Engine-cache lifecycle counters (stats export / manifests)."""
+        return {
+            "active": len(self._engines),
+            "built": self.engines_built,
+            "respawns": self.engine_respawns,
+            "evicted": self.engines_evicted,
+        }
 
     def matmul(self, H: HMatrix, W: np.ndarray, order: str | None = None,
                q_chunk: int | None = None,

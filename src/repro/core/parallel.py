@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import signal
 import sys
 import traceback
 import weakref
@@ -43,14 +44,34 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from repro.api.policy import DEFAULT_Q_CHUNK, effective_cpu_count
+from repro.observability.faults import active_fault_plan
 
-__all__ = ["ProcessEngine", "default_start_method", "shard_by_weight"]
+__all__ = ["ProcessEngine", "WorkerCrashError", "default_start_method",
+           "shard_by_weight"]
 
 # Phases of the barrier protocol (master interleaves the interior tree
 # levels, which are cheap and strictly ordered, between worker phases).
 _PHASE_NEAR_AND_LEAF_UP = 1
 _PHASE_FAR = 2
 _PHASE_LEAF_DOWN = 3
+
+#: Public names of the barrier phases (the fault-injection vocabulary:
+#: a FaultPlan kills a worker at one of these named points).
+PHASE_NAMES = {
+    _PHASE_NEAR_AND_LEAF_UP: "near_and_leaf_up",
+    _PHASE_FAR: "far",
+    _PHASE_LEAF_DOWN: "leaf_down",
+}
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker died or failed mid-barrier.
+
+    The engine is closed (fail closed: a partially-written shared Y must
+    never be served) before this is raised; the owning
+    :class:`~repro.core.executor.Executor` builds a fresh engine — pool
+    respawn — on the next request for the same HMatrix.
+    """
 
 
 def default_start_method() -> str:
@@ -488,6 +509,7 @@ class ProcessEngine:
             for state in self._inline_states:
                 state.run_phase(phase, W, Y, T, S)
             return
+        self._maybe_inject_kill(phase)
         errors = []
         for wid, conn in enumerate(self._conns):
             try:
@@ -504,9 +526,26 @@ class ProcessEngine:
                 errors.append(f"worker {reply[1]}:\n{reply[2]}")
         if errors:
             self.close()
-            raise RuntimeError(
+            raise WorkerCrashError(
                 "process backend worker failed:\n" + "\n".join(errors)
             )
+
+    def _maybe_inject_kill(self, phase: int) -> None:
+        """Chaos hook: SIGKILL the FaultPlan's named worker at the start
+        of its named barrier phase (no plan installed -> one None check).
+        The kill lands *before* the phase commands go out, so the barrier
+        observes exactly what a mid-protocol worker death looks like: a
+        pipe that goes EOF instead of replying."""
+        plan = active_fault_plan()
+        if plan is None or not self._workers:
+            return
+        wid = plan.take_kill(PHASE_NAMES[phase])
+        if wid is None:
+            return
+        proc = self._workers[wid % len(self._workers)]
+        if proc.pid is not None:
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.join(timeout=5.0)
 
     def _matmul_tree_chunk(self, W_chunk: np.ndarray,
                            out: np.ndarray) -> None:

@@ -1,0 +1,103 @@
+"""A minimal, dependency-free JSON-Schema subset validator.
+
+The run-manifest schema (``run_manifest.schema.json``) is a checked-in
+contract: CI schema-validates every manifest a smoke run emits, and the
+Hypothesis property suite validates generated manifests against it. The
+container bakes in no ``jsonschema`` package, so this module implements
+exactly the subset the schema uses — ``type`` (including type lists),
+``properties``, ``required``, ``additionalProperties`` (boolean form),
+``items`` (single-schema form), ``enum``, ``pattern``, and ``minimum``
+— and refuses schemas that use anything else, so a schema edit can
+never silently stop being enforced.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["SchemaError", "validate_json"]
+
+_KNOWN_KEYWORDS = {
+    "$schema", "$id", "title", "description",
+    "type", "properties", "required", "additionalProperties", "items",
+    "enum", "pattern", "minimum",
+}
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "integer": int,
+    "number": (int, float),
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+class SchemaError(ValueError):
+    """The schema itself uses a keyword this validator does not cover."""
+
+
+def _type_ok(value, names) -> bool:
+    names = [names] if isinstance(names, str) else list(names)
+    for name in names:
+        if name not in _TYPES:
+            raise SchemaError(f"unknown type {name!r} in schema")
+        py = _TYPES[name]
+        # bool is an int subclass in Python but not in JSON Schema.
+        if isinstance(value, bool):
+            if name == "boolean":
+                return True
+            continue
+        if isinstance(value, py):
+            return True
+    return False
+
+
+def validate_json(doc, schema: dict, path: str = "$") -> list[str]:
+    """Validate ``doc`` against the schema subset; returns error strings.
+
+    An empty list means the document conforms. Raises
+    :class:`SchemaError` if the *schema* uses an unsupported keyword —
+    loudly, so the contract never rots into a no-op.
+    """
+    if not isinstance(schema, dict):
+        raise SchemaError(f"schema at {path} must be an object")
+    unknown = sorted(set(schema) - _KNOWN_KEYWORDS)
+    if unknown:
+        raise SchemaError(
+            f"schema at {path} uses unsupported keyword(s) {unknown}")
+
+    errors: list[str] = []
+    if "type" in schema and not _type_ok(doc, schema["type"]):
+        errors.append(
+            f"{path}: expected type {schema['type']}, got "
+            f"{type(doc).__name__}")
+        return errors  # further keyword checks assume the right type
+    if "enum" in schema and doc not in schema["enum"]:
+        errors.append(f"{path}: {doc!r} not in enum {schema['enum']}")
+    if "pattern" in schema and isinstance(doc, str):
+        if re.search(schema["pattern"], doc) is None:
+            errors.append(
+                f"{path}: {doc!r} does not match pattern "
+                f"{schema['pattern']!r}")
+    if "minimum" in schema and isinstance(doc, (int, float)) \
+            and not isinstance(doc, bool) and doc < schema["minimum"]:
+        errors.append(f"{path}: {doc} < minimum {schema['minimum']}")
+
+    if isinstance(doc, dict):
+        props = schema.get("properties", {})
+        for name in schema.get("required", ()):
+            if name not in doc:
+                errors.append(f"{path}: missing required property {name!r}")
+        for name, value in doc.items():
+            if name in props:
+                errors.extend(
+                    validate_json(value, props[name], f"{path}.{name}"))
+            elif schema.get("additionalProperties", True) is False:
+                errors.append(f"{path}: unexpected property {name!r}")
+    if isinstance(doc, list) and "items" in schema:
+        for i, value in enumerate(doc):
+            errors.extend(
+                validate_json(value, schema["items"], f"{path}[{i}]"))
+    return errors

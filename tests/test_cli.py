@@ -226,6 +226,36 @@ class TestServeCommand:
         with pytest.raises(SystemExit, match="datasets"):
             main(["serve", "--requests", str(bad)])
 
+    def test_serve_manifest_next_to_store(self, request_file, tmp_path,
+                                          capsys):
+        from repro.observability import RunManifest
+
+        store = str(tmp_path / "store")
+        main(["compile", "--requests", str(request_file), "--store", store])
+        rc = main(["serve", "--requests", str(request_file),
+                   "--store", store, "--manifest"])
+        assert rc == 0
+        assert "run manifest ->" in capsys.readouterr().out
+        files = list((tmp_path / "store" / "manifests").glob("run-*.json"))
+        assert len(files) == 1
+        m = RunManifest.from_json(files[0].read_text())
+        m.validate()
+        assert m.doc["stats"]["service"]["served"] == 3
+
+    def test_serve_manifest_explicit_path(self, request_file, tmp_path,
+                                          capsys):
+        from repro.observability import RunManifest
+
+        target = tmp_path / "out.json"
+        rc = main(["serve", "--requests", str(request_file),
+                   "--manifest", str(target)])
+        assert rc == 0
+        RunManifest.from_json(target.read_text()).validate()
+
+    def test_serve_manifest_flag_requires_store(self, request_file):
+        with pytest.raises(SystemExit, match="--manifest"):
+            main(["serve", "--requests", str(request_file), "--manifest"])
+
 
 class TestDatasetsCommand:
     def test_list(self, capsys):

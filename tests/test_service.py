@@ -254,3 +254,61 @@ def test_cancelled_future_does_not_kill_dispatcher(points_2d,
             assert second.result(30) is not None
         # The service must still be alive and serving.
         assert svc.request("grid", np.ones(n), timeout=30) is not None
+
+
+class TestDispatcherCrash:
+    """Regression: a dispatcher-machinery exception during drain used to
+    kill the thread silently, leaving every queued Future hung forever.
+    The service must fail closed instead: pending futures complete with
+    ServiceClosed (chained to the crash), the crash is counted, and
+    close() returns promptly."""
+
+    def _crashing_service(self, points_2d, gaussian_kernel):
+        svc = KernelService(plan=PLAN, max_batch=4, max_wait_ms=200.0)
+        svc.register("grid", points_2d, kernel=gaussian_kernel, warm=True)
+
+        def broken_take_batch():
+            raise RuntimeError("injected dispatch defect")
+
+        # Patch the dispatch machinery itself (not the per-batch execute
+        # path, which already fences errors into Futures).
+        svc._take_batch = broken_take_batch
+        return svc
+
+    def test_queued_futures_fail_not_hang(self, points_2d,
+                                          gaussian_kernel):
+        svc = self._crashing_service(points_2d, gaussian_kernel)
+        try:
+            fut = svc.submit("grid", np.ones(len(points_2d)))
+            with pytest.raises(ServiceClosed, match="dispatcher crashed"):
+                fut.result(timeout=30)  # would hang forever before the fix
+            assert isinstance(fut.exception(), ServiceClosed)
+            assert isinstance(fut.exception().__cause__, RuntimeError)
+            # The Future completes *before* the crashing thread unwinds;
+            # wait for the unwind so liveness is settled.
+            svc._dispatcher.join(timeout=30)
+            stats = svc.stats()
+            assert stats["dispatcher_crashes"] == 1
+            assert stats["dispatcher_alive"] is False
+            assert stats["errors"] == 1
+            with pytest.raises(ServiceClosed):
+                svc.submit("grid", np.ones(len(points_2d)))
+        finally:
+            svc.close(timeout=30)
+
+    def test_close_completes_leftover_queue(self, points_2d,
+                                            gaussian_kernel):
+        """Even a Future that slipped into the queue around the crash is
+        completed with ServiceClosed by close()'s safety net."""
+        svc = self._crashing_service(points_2d, gaussian_kernel)
+        fut = svc.submit("grid", np.ones(len(points_2d)))
+        svc.close(timeout=30)
+        with pytest.raises(ServiceClosed):
+            fut.result(timeout=1)
+        assert svc.stats()["queue_depth"] == 0
+
+    def test_healthy_service_reports_no_crashes(self, service, points_2d):
+        service.request("grid", np.ones(len(points_2d)), timeout=30)
+        stats = service.stats()
+        assert stats["dispatcher_crashes"] == 0
+        assert stats["dispatcher_alive"] is True
