@@ -131,6 +131,38 @@ def check_file(path: Path) -> list[str]:
             problems.append(
                 f"{path.name}: {retunes} re-tune(s) after a PlanStore "
                 f"reopen (gate: warm start re-tunes nothing)")
+    # Semantic gates for the network-serving artifact (repro.net): the
+    # HTTP front-end must not drop requests under concurrent mixed-tenant
+    # load (auth/quota/audit are per-request code paths — one failure
+    # means one of them broke), a warm server restart must serve from the
+    # per-tenant PlanStore roots with zero inspections and zero re-tunes,
+    # and the recorded p99 must be bounded — a multi-second tail for
+    # small panels means the dispatcher or a front-end lock stalled.
+    if path.name == "netserve.json" and isinstance(payload, dict):
+        load = payload.get("load") or {}
+        failed = load.get("failed_requests")
+        if failed is None:
+            problems.append(
+                f"{path.name}: missing load.failed_requests field")
+        elif failed != 0:
+            problems.append(
+                f"{path.name}: {failed} failed request(s) under load "
+                f"(gate: zero)")
+        p99 = load.get("p99_ms")
+        if p99 is None:
+            problems.append(f"{path.name}: missing load.p99_ms field")
+        elif not (0.0 < p99 < 30_000.0):
+            problems.append(
+                f"{path.name}: p99 of {p99:.0f} ms is outside the sane "
+                f"band (gate: 0 < p99 < 30000 ms)")
+        for field in ("warm_inspections", "warm_retunes"):
+            value = payload.get(field)
+            if value is None:
+                problems.append(f"{path.name}: missing {field} field")
+            elif value != 0:
+                problems.append(
+                    f"{path.name}: {field}={value} after a server restart "
+                    f"(gate: warm tenants rebuild nothing)")
     # The serve-smoke run manifest must conform to the checked-in JSON
     # schema — an observability artifact nobody can parse is no
     # observability at all — and must prove the run actually served.

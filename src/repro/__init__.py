@@ -72,6 +72,7 @@ from repro.observability import (
     inject_faults,
     metrics_text,
 )
+from repro.net import KernelClient, KernelServer
 from repro.tuning import Autotuner, TuningProfile, tune
 from repro.solvers import (
     KernelRidgeRegression,
@@ -80,7 +81,7 @@ from repro.solvers import (
     power_iteration,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "PlanConfig",
@@ -90,6 +91,8 @@ __all__ = [
     "PlanStore",
     "PlanStoreError",
     "KernelService",
+    "KernelServer",
+    "KernelClient",
     "KernelOperator",
     "LinearOperator",
     "IdentityOperator",

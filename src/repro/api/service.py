@@ -148,6 +148,8 @@ class KernelService:
         self._queue: deque[_Pending] = deque()
         self._cv = threading.Condition()
         self._closed = False
+        self._draining = False
+        self._inflight = 0  # requests taken off the queue, not yet resolved
         # register()/warm() run session.inspect on caller threads; the
         # dispatcher runs inspect+matmul. This lock serializes them.
         self._session_lock = threading.Lock()
@@ -173,8 +175,9 @@ class KernelService:
         so the first request pays no build latency.
         """
         with self._cv:
-            if self._closed:
-                raise ServiceClosed("cannot register on a closed service")
+            if self._closed or self._draining:
+                raise ServiceClosed(
+                    "cannot register on a closed or draining service")
         pts = np.ascontiguousarray(points, dtype=np.float64)
         plan = self.session._resolve_plan(plan, bacc)
         self._endpoints[points_id] = _Endpoint(
@@ -227,8 +230,9 @@ class KernelService:
         item = _Pending(points_id, ep, W, W.shape[1], squeeze, Future(),
                         time.perf_counter())
         with self._cv:
-            if self._closed:
-                raise ServiceClosed("cannot submit to a closed service")
+            if self._closed or self._draining:
+                raise ServiceClosed(
+                    "cannot submit to a closed or draining service")
             self._queue.append(item)
             self._max_queue_depth = max(self._max_queue_depth,
                                         len(self._queue))
@@ -275,19 +279,26 @@ class KernelService:
                     if not self._queue:
                         return  # closed and fully drained
                     if (self.max_batch > 1 and self.max_wait > 0
-                            and not self._closed
+                            and not self._closed and not self._draining
                             and len(self._queue) < self.max_batch):
                         # Linger briefly so a burst coalesces into one
-                        # batch.
+                        # batch. (Never during drain: nothing new can
+                        # arrive, so lingering only delays completion.)
                         deadline = time.perf_counter() + self.max_wait
                         while (len(self._queue) < self.max_batch
-                               and not self._closed):
+                               and not self._closed and not self._draining):
                             remaining = deadline - time.perf_counter()
                             if remaining <= 0:
                                 break
                             self._cv.wait(remaining)
                     batch = self._take_batch()
-                self._execute(batch)
+                    self._inflight += len(batch)
+                try:
+                    self._execute(batch)
+                finally:
+                    with self._cv:
+                        self._inflight -= len(batch)
+                        self._cv.notify_all()
         except BaseException as exc:
             self._dispatcher_failed(exc)
             raise
@@ -369,6 +380,8 @@ class KernelService:
                 "max_batch_observed": int(sizes.max()) if len(sizes) else 0,
                 "dispatcher_crashes": self._dispatcher_crashes,
                 "dispatcher_alive": self._dispatcher.is_alive(),
+                "draining": self._draining and not self._closed,
+                "inflight": self._inflight,
             }
         for name, q in (("p50_ms", 50), ("p99_ms", 99)):
             out[name] = (float(np.percentile(lat, q) * 1e3)
@@ -383,6 +396,43 @@ class KernelService:
         return out
 
     # ------------------------------------------------------------- lifecycle
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop accepting new requests; wait for accepted ones to finish.
+
+        The SIGTERM-friendly half of shutdown, separate from
+        :meth:`close`: after ``drain()`` returns ``True``, every Future
+        accepted before the drain began has *completed* (the dispatcher
+        keeps running them — nothing is abandoned with
+        :class:`ServiceClosed`), while ``submit``/``register`` refuse new
+        work immediately. The session and dispatcher stay up, so
+        ``stats()``/manifest collection still work; call :meth:`close`
+        afterwards to tear down.
+
+        Returns ``False`` if ``timeout`` elapsed with work still in
+        flight (the drain state persists; a later call can keep
+        waiting). Idempotent and safe from any thread.
+        """
+        deadline = (None if timeout is None
+                    else time.perf_counter() + timeout)
+        with self._cv:
+            self._draining = True
+            self._cv.notify_all()  # wake a lingering dispatcher now
+            while self._queue or self._inflight:
+                if not self._dispatcher.is_alive():
+                    # A crashed dispatcher already failed the queue; the
+                    # drain itself is then complete (nothing can run).
+                    return True
+                remaining = (None if deadline is None
+                             else deadline - time.perf_counter())
+                if remaining is not None and remaining <= 0:
+                    return False
+                # Bounded waits so a dispatcher that dies without
+                # notifying (SIGKILLed interpreter thread, debugger) is
+                # still noticed by the aliveness check above.
+                self._cv.wait(0.1 if remaining is None
+                              else min(remaining, 0.1))
+        return True
+
     def close(self, timeout: float | None = None) -> None:
         """Stop accepting requests, drain the queue, join the dispatcher.
 

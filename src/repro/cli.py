@@ -18,8 +18,15 @@ Mirrors the paper's inspector/executor workflow as a tool:
   (…serve forever); ``--expect-warm`` fails if any inspection ran;
   ``--manifest`` writes a schema-validated
   :class:`~repro.observability.RunManifest` at close;
+* ``server``   — run the network-facing multi-tenant kernel server
+  (:class:`~repro.net.server.KernelServer`): JSON-over-HTTP
+  compile/matmul/stats endpoints with token auth, per-tenant PlanStore
+  roots, quotas, a JSONL audit log, and SIGTERM-graceful drain;
+* ``client``   — talk to a running server from the shell
+  (``compile``/``matmul``/``stats``/``metrics``);
 * ``stats``    — offline inventory of a PlanStore directory, as
   ``/metrics``-style text or JSON (tolerates rot and version skew);
+  ``--tenant`` scopes it to one tenant of a server root;
 * ``gc``       — age/version-based PlanStore eviction with
   reclaimed-byte reporting (``--dry-run`` previews);
 * ``info``     — print the structural summary of a stored HMatrix;
@@ -350,14 +357,135 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_server(args) -> int:
+    import signal
+    import threading
+
+    from repro.net.server import KernelServer
+    from repro.net.tenants import TenantQuota
+
+    quota = TenantQuota(max_requests=args.quota_requests,
+                        max_bytes=args.quota_bytes,
+                        window_seconds=args.quota_window)
+    policy = (resolve_policy(order=args.order)
+              if getattr(args, "order", None) else None)
+    server = KernelServer(
+        args.root, tokens=args.tokens, host=args.host, port=args.port,
+        quota=quota, max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms, policy=policy,
+        audit_log=False if args.no_audit else args.audit)
+    stop = threading.Event()
+
+    def _graceful(signum, frame):
+        print(f"\nsignal {signal.Signals(signum).name}: draining…",
+              file=sys.stderr)
+        stop.set()
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(sig, _graceful)
+    server.start()
+    print(f"kernel server listening on {server.url} "
+          f"(root={args.root}, auth={'on' if server.auth else 'OFF'}, "
+          f"max_batch={args.max_batch})")
+    stop.wait()
+    drained = server.drain(args.drain_timeout)
+    server.close(args.drain_timeout)
+    stats = server.stats()["server"]
+    print(f"drained {'cleanly' if drained else 'with a timeout'}; served "
+          f"{stats['responses'].get('2xx', 0)} ok / "
+          f"{stats['responses'].get('4xx', 0)} client-error / "
+          f"{stats['responses'].get('5xx', 0)} server-error responses "
+          f"over {stats['tenants_active']} tenant(s)")
+    return 0 if drained else 1
+
+
+def cmd_client(args) -> int:
+    from repro.net.client import KernelClient, ServerError
+
+    if args.action != "metrics" and not args.tenant:
+        print(f"client {args.action}: --tenant is required",
+              file=sys.stderr)
+        return 2
+    if args.action == "compile" and not args.points:
+        print("client compile: --points is required", file=sys.stderr)
+        return 2
+    if args.action == "matmul" and not args.points_id:
+        print("client matmul: --points-id is required", file=sys.stderr)
+        return 2
+    client = KernelClient(args.url, tenant=args.tenant, token=args.token,
+                          timeout=args.timeout)
+    try:
+        if args.action == "metrics":
+            print(client.metrics(), end="")
+            return 0
+        if args.action == "stats":
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if args.action == "compile":
+            points = _load_points(args.points, args.n, args.seed)
+            plan = {"structure": args.structure, "tau": args.tau,
+                    "budget": args.budget, "bacc": args.bacc,
+                    "leaf_size": args.leaf_size, "max_rank": args.max_rank,
+                    "sampling_size": args.sampling_size, "seed": args.seed}
+            info = client.compile(
+                points,
+                kernel={"name": args.kernel, "bandwidth": args.bandwidth},
+                plan=plan, points_id=args.points_id)
+            verb = ("compiled" if info["compiled"]
+                    else "already compiled (store hit)")
+            print(f"{verb} {info['points_id']}: N={info['n']} d={info['d']} "
+                  f"plan={info['plan_fingerprint']} in "
+                  f"{info['compile_seconds']:.3f}s")
+            return 0
+        # matmul
+        if args.w:
+            W = np.load(args.w)
+        else:
+            # Row count comes from the tenant's endpoint registry.
+            endpoints = client.stats().get("endpoints", {})
+            n = endpoints.get(args.points_id)
+            if n is None:
+                print(f"client: points_id {args.points_id!r} not "
+                      f"registered (known: {sorted(endpoints)}); "
+                      f"compile first", file=sys.stderr)
+                return 2
+            W = np.random.default_rng(args.seed).random((n, args.q))
+        t0 = time.perf_counter()
+        Y = client.matmul(args.points_id, W, chunk_cols=args.chunk_cols)
+        dt = time.perf_counter() - t0
+        print(f"Y = K[{args.points_id}] @ W  {W.shape} -> {Y.shape} "
+              f"in {dt:.3f}s")
+        if args.output:
+            np.save(args.output, Y)
+            print(f"Y -> {args.output}")
+        else:
+            print(f"||Y||_F = {np.linalg.norm(Y):.6e}")
+        return 0
+    except ServerError as exc:
+        print(f"client: {exc}", file=sys.stderr)
+        return 1
+
+
 def cmd_stats(args) -> int:
     from repro.observability.stats import metrics_text, store_inventory
 
     directory = Path(args.store)
+    if args.tenant:
+        scoped = directory / "tenants" / args.tenant / "store"
+        if not scoped.is_dir():
+            known = sorted(p.parent.name for p
+                           in (directory / "tenants").glob("*/store"))
+            print(f"stats: no store for tenant {args.tenant!r} under "
+                  f"{args.store} (known tenants: {known or 'none'})",
+                  file=sys.stderr)
+            return 2
+        directory = scoped
     if not directory.is_dir():
         print(f"stats: no store directory at {args.store}", file=sys.stderr)
         return 2
     inv = store_inventory(directory)
+    if args.tenant:
+        inv["tenant"] = args.tenant
     if args.json:
         print(json.dumps(inv, indent=2, sort_keys=True))
     else:
@@ -523,10 +651,77 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
+        "server",
+        help="run the network-facing multi-tenant kernel server")
+    p.add_argument("--root", required=True,
+                   help="server state directory (per-tenant stores live "
+                        "under <root>/tenants/<name>/store)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8741,
+                   help="bind port (0 picks an ephemeral port)")
+    p.add_argument("--tokens", default=None,
+                   help="JSON token file ({'tokens': {token: tenant}}); "
+                        "omitted, auth is DISABLED (dev mode)")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="per-tenant dispatcher micro-batch cap")
+    p.add_argument("--max-wait-ms", type=float, default=2.0,
+                   help="dispatcher linger for stragglers")
+    p.add_argument("--order", default=None, choices=list(VALID_ORDERS),
+                   help="execution order for served requests")
+    p.add_argument("--quota-requests", type=int, default=None,
+                   help="per-tenant request cap per quota window")
+    p.add_argument("--quota-bytes", type=int, default=None,
+                   help="per-tenant request-body byte cap per window")
+    p.add_argument("--quota-window", type=float, default=60.0,
+                   help="sliding quota window, seconds")
+    p.add_argument("--audit", default=None, metavar="PATH",
+                   help="JSONL request-audit log "
+                        "(default: <root>/audit.jsonl)")
+    p.add_argument("--no-audit", action="store_true",
+                   help="disable the request-audit log")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   help="seconds to wait for in-flight requests on "
+                        "SIGTERM/SIGINT")
+    p.set_defaults(fn=cmd_server)
+
+    p = sub.add_parser(
+        "client",
+        help="talk to a running kernel server")
+    p.add_argument("action",
+                   choices=["compile", "matmul", "stats", "metrics"])
+    p.add_argument("--url", required=True,
+                   help="server base URL, e.g. http://127.0.0.1:8741")
+    p.add_argument("--tenant", default=None,
+                   help="tenant namespace (required except for metrics)")
+    p.add_argument("--token", default=None, help="bearer token")
+    p.add_argument("--timeout", type=float, default=120.0)
+    p.add_argument("--points", default=None,
+                   help="compile: Table 1 dataset name or .npy point file")
+    p.add_argument("--points-id", default=None,
+                   help="endpoint name (compile: optional; matmul: "
+                        "required)")
+    p.add_argument("-n", type=int, default=None,
+                   help="compile: point count for named datasets")
+    p.add_argument("--w", default=None,
+                   help="matmul: .npy right-hand matrix")
+    p.add_argument("-q", type=int, default=16,
+                   help="matmul: random W columns when --w is not given")
+    p.add_argument("--chunk-cols", type=int, default=None,
+                   help="matmul: stream W as column chunks of this width")
+    p.add_argument("-o", "--output", default=None,
+                   help="matmul: store Y as .npy")
+    _add_inspector_args(p)
+    p.set_defaults(fn=cmd_client)
+
+    p = sub.add_parser(
         "stats",
         help="offline PlanStore inventory (/metrics-style text or JSON)")
     p.add_argument("--store", required=True,
-                   help="PlanStore directory to inventory")
+                   help="PlanStore directory to inventory (or a server "
+                        "root with --tenant)")
+    p.add_argument("--tenant", default=None,
+                   help="scope to one tenant of a server root "
+                        "(<store>/tenants/<tenant>/store)")
     p.add_argument("--json", action="store_true",
                    help="print the inventory as JSON instead of metrics "
                         "lines")

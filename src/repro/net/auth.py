@@ -1,0 +1,94 @@
+"""Token-based tenant authentication for the kernel server.
+
+The model is deliberately small: a bearer token names exactly one
+tenant. A request to ``/v1/{tenant}/...`` must present a token bound to
+*that* tenant — a valid token for tenant A hitting tenant B's namespace
+is a 403 (authenticated but not authorized), a missing or unknown token
+is a 401. Comparisons are constant-time (:func:`hmac.compare_digest`) so
+the token table cannot be probed byte-by-byte through timing.
+
+Token tables load from a dict (``{token: tenant}``) or a JSON file of
+the shape ``{"tokens": {"<token>": "<tenant>"}}``. ``authenticator=None``
+on the server disables auth entirely (single-user/dev mode): every
+request is attributed to the tenant named in its URL.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+from pathlib import Path
+
+__all__ = ["AuthError", "TokenAuthenticator", "load_token_table"]
+
+
+class AuthError(Exception):
+    """Authentication (401) or authorization (403) failure."""
+
+    def __init__(self, message: str, *, status: int):
+        super().__init__(message)
+        self.status = int(status)
+        self.code = "unauthenticated" if status == 401 else "forbidden"
+
+
+def load_token_table(source) -> dict[str, str]:
+    """``{token: tenant}`` from a dict or a JSON file path."""
+    if isinstance(source, dict):
+        table = dict(source)
+    else:
+        doc = json.loads(Path(source).read_text())
+        if not isinstance(doc, dict) or not isinstance(doc.get("tokens"),
+                                                       dict):
+            raise ValueError(
+                f"token file {source} must be a JSON object with a "
+                f"'tokens' mapping of token -> tenant")
+        table = dict(doc["tokens"])
+    for token, tenant in table.items():
+        if not isinstance(token, str) or not token:
+            raise ValueError(f"token keys must be non-empty strings, "
+                             f"got {token!r}")
+        if not isinstance(tenant, str) or not tenant:
+            raise ValueError(f"token {token[:4]}…: tenant must be a "
+                             f"non-empty string, got {tenant!r}")
+    return table
+
+
+class TokenAuthenticator:
+    """Constant-time bearer-token → tenant resolution."""
+
+    def __init__(self, tokens):
+        self._tokens = load_token_table(tokens)
+
+    def tenants(self) -> list[str]:
+        return sorted(set(self._tokens.values()))
+
+    def resolve(self, header_value: str | None) -> str:
+        """``Authorization`` header → tenant name, or :class:`AuthError`.
+
+        Scans the whole table unconditionally so a miss and a hit cost
+        the same number of digest comparisons.
+        """
+        if not header_value:
+            raise AuthError("missing Authorization header (expected "
+                            "'Bearer <token>')", status=401)
+        scheme, _, token = header_value.partition(" ")
+        if scheme.lower() != "bearer" or not token.strip():
+            raise AuthError("Authorization header must be "
+                            "'Bearer <token>'", status=401)
+        token = token.strip()
+        matched = None
+        for candidate, tenant in self._tokens.items():
+            if hmac.compare_digest(candidate.encode(), token.encode()):
+                matched = tenant
+        if matched is None:
+            raise AuthError("unknown token", status=401)
+        return matched
+
+    def authenticate(self, header_value: str | None, tenant: str) -> str:
+        """Resolve the token AND check it is bound to ``tenant``."""
+        owner = self.resolve(header_value)
+        if not hmac.compare_digest(owner.encode(), tenant.encode()):
+            raise AuthError(
+                f"token is not authorized for tenant {tenant!r}",
+                status=403)
+        return owner

@@ -1,0 +1,170 @@
+"""KernelClient: the stdlib HTTP client for :class:`KernelServer`.
+
+``urllib.request`` only — a client of the wire protocol, not of the
+repro internals: everything it sends and receives goes through
+:mod:`repro.net.protocol`, so it doubles as the reference implementation
+for clients in other languages.
+
+    >>> client = KernelClient("http://127.0.0.1:8741", token="s3cret",
+    ...                       tenant="acme")                # doctest: +SKIP
+    >>> info = client.compile(points, kernel="gaussian",
+    ...                       plan={"leaf_size": 64})       # doctest: +SKIP
+    >>> Y = client.matmul(info["points_id"], W)             # doctest: +SKIP
+
+``matmul(..., chunk_cols=q)`` splits a wide panel into column chunks so
+the server's dispatcher can micro-batch them with concurrent traffic;
+the concatenated result is bit-identical to the unchunked product.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+
+from repro.net.protocol import PROTOCOL_VERSION, decode_array, encode_array
+
+__all__ = ["KernelClient", "ServerError"]
+
+
+class ServerError(RuntimeError):
+    """A non-2xx response, carrying the wire error code and status."""
+
+    def __init__(self, status: int, code: str, message: str,
+                 retry_after: float | None = None):
+        super().__init__(f"HTTP {status} [{code}]: {message}")
+        self.status = int(status)
+        self.code = code
+        self.retry_after = retry_after
+
+
+class KernelClient:
+    """Typed front-end for one tenant of a :class:`KernelServer`.
+
+    Parameters
+    ----------
+    base_url:
+        ``http://host:port`` of the server (no trailing path).
+    tenant:
+        Tenant namespace to address (required for compile/matmul/stats).
+    token:
+        Bearer token for the tenant; omit against a no-auth server.
+    timeout:
+        Socket timeout per request, seconds.
+    """
+
+    def __init__(self, base_url: str, *, tenant: str | None = None,
+                 token: str | None = None, timeout: float = 120.0):
+        self.base_url = base_url.rstrip("/")
+        self.tenant = tenant
+        self.token = token
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------- transport
+    def _request(self, method: str, path: str, doc: dict | None = None,
+                 *, raw: bool = False):
+        headers = {"Accept": "application/json"}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
+        body = None
+        if doc is not None:
+            body = json.dumps(doc).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=body, method=method,
+            headers=headers)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as resp:
+                payload = resp.read()
+                served = resp.headers.get("X-Repro-Protocol")
+        except urllib.error.HTTPError as exc:
+            raise self._server_error(exc) from None
+        except urllib.error.URLError as exc:
+            raise ServerError(0, "unreachable",
+                              f"{self.base_url}: {exc.reason}") from exc
+        if served is not None and int(served) != PROTOCOL_VERSION:
+            raise ServerError(0, "protocol_mismatch",
+                              f"server speaks protocol {served}, client "
+                              f"speaks {PROTOCOL_VERSION}")
+        if raw:
+            return payload.decode()
+        return json.loads(payload)
+
+    @staticmethod
+    def _server_error(exc: urllib.error.HTTPError) -> ServerError:
+        code, message = "error", exc.reason
+        try:
+            detail = json.loads(exc.read()).get("error", {})
+            code = detail.get("code", code)
+            message = detail.get("message", message)
+        except (ValueError, OSError):
+            pass
+        retry_after = exc.headers.get("Retry-After")
+        return ServerError(exc.code, code, message,
+                           retry_after=(float(retry_after)
+                                        if retry_after else None))
+
+    def _tenant_path(self, verb: str) -> str:
+        if not self.tenant:
+            raise ValueError(f"{verb} requires a tenant; pass "
+                             f"KernelClient(..., tenant=...)")
+        return f"/v1/{self.tenant}/{verb}"
+
+    # ------------------------------------------------------------- endpoints
+    def compile(self, points, *, kernel="gaussian", plan: dict | None = None,
+                points_id: str | None = None) -> dict:
+        """Upload points; the server inspects (or store-hits) the plan.
+
+        Returns the server's compile record — ``points_id`` (use it for
+        :meth:`matmul`), plan/points fingerprints, and ``compiled``
+        (``False`` means the tenant's store already held the artifact).
+        """
+        doc = {"points": encode_array(np.asarray(points, dtype=np.float64)),
+               "kernel": kernel}
+        if plan is not None:
+            doc["plan"] = dict(plan)
+        if points_id is not None:
+            doc["points_id"] = points_id
+        return self._request("POST", self._tenant_path("compile"), doc)
+
+    def matmul(self, points_id: str, W, *,
+               chunk_cols: int | None = None) -> np.ndarray:
+        """``Y = K[points_id] @ W`` on the server.
+
+        ``chunk_cols`` streams the panel as column chunks of that width
+        (one dispatcher submit each — they micro-batch server-side);
+        the stitched result is bit-identical to the single-panel path.
+        """
+        W = np.asarray(W, dtype=np.float64)
+        squeeze = W.ndim == 1
+        panel = W[:, None] if squeeze else W
+        if panel.ndim != 2:
+            raise ValueError(f"W must be 1-D or 2-D, got shape {W.shape}")
+        if chunk_cols is not None and chunk_cols >= 1 \
+                and panel.shape[1] > chunk_cols:
+            chunks = [panel[:, i:i + chunk_cols]
+                      for i in range(0, panel.shape[1], chunk_cols)]
+            doc = {"points_id": points_id,
+                   "w_chunks": [encode_array(c) for c in chunks]}
+            out = self._request("POST", self._tenant_path("matmul"), doc)
+            Y = np.hstack([decode_array(c, field="y_chunks")
+                           for c in out["y_chunks"]])
+        else:
+            doc = {"points_id": points_id, "w": encode_array(panel)}
+            out = self._request("POST", self._tenant_path("matmul"), doc)
+            Y = decode_array(out["y"], field="y")
+        return Y[:, 0] if squeeze else Y
+
+    def stats(self) -> dict:
+        """This tenant's quota/service/session/store counters."""
+        return self._request("GET", self._tenant_path("stats"))
+
+    def metrics(self) -> str:
+        """The server-wide ``/metrics`` text (unauthenticated)."""
+        return self._request("GET", "/metrics", raw=True)
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")

@@ -1,0 +1,203 @@
+"""Wire protocol for the network-facing kernel server (DESIGN.md §11).
+
+Everything on the wire is JSON over HTTP/1.1 — stdlib-parseable from any
+language, no new dependencies on either side. The two structured payload
+types are:
+
+* **arrays** — a dense ndarray travels as
+  ``{"shape": [...], "dtype": "float64", "data": "<base64>"}`` where
+  ``data`` is the base64 of the little-endian, C-contiguous buffer.
+  Base64 over JSON costs ~33% wire overhead but keeps every byte of the
+  float exact (no decimal round-trip) and every client trivial;
+* **errors** — every non-2xx response body is
+  ``{"error": {"code": "<machine-readable>", "message": "<human>"}}``,
+  with the HTTP status carrying the class (400 malformed, 401/403 auth,
+  404 unknown, 413 too large, 429 over quota, 503 draining).
+
+Multi-RHS requests may ship the panel as ``w_chunks`` — a list of
+column-chunk arrays with equal row counts. The server submits each chunk
+to the :class:`~repro.api.service.KernelService` dispatcher *separately*,
+so chunks of one request micro-batch with other tenants' traffic into
+stacked GEMMs, and the chunked results concatenate bit-identically to a
+single-panel evaluation.
+
+:func:`plan_from_doc` / :func:`kernel_from_doc` are the only paths from
+untrusted JSON into :class:`~repro.api.plan.PlanConfig` / kernel
+construction: unknown keys and non-finite numbers are rejected here with
+:class:`ProtocolError` (→ 400) before they can reach the dispatcher.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import math
+
+import numpy as np
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "decode_array",
+    "encode_array",
+    "error_doc",
+    "kernel_from_doc",
+    "plan_from_doc",
+]
+
+#: Version of the wire protocol; served in every response header
+#: (``X-Repro-Protocol``) and checked by the client.
+PROTOCOL_VERSION = 1
+
+#: dtypes allowed on the wire (everything is evaluated in float64; the
+#: whitelist exists so a request cannot smuggle object/void dtypes).
+_WIRE_DTYPES = ("float64", "float32")
+
+#: PlanConfig keys a compile request may set (mirrors the CLI's dataset
+#: spec: the inspector knobs plus the partition pin ``p``).
+PLAN_KEYS = ("structure", "tau", "budget", "bacc", "leaf_size", "max_rank",
+             "sampling_size", "tree_method", "seed", "p")
+
+#: Kernels constructible from the wire, with their accepted parameters.
+KERNEL_KEYS = {"name", "bandwidth"}
+_BANDWIDTH_KERNELS = ("gaussian", "laplace", "matern32")
+
+
+class ProtocolError(ValueError):
+    """A malformed or oversized wire payload.
+
+    ``status`` is the HTTP status the server answers with (400 unless
+    the payload was well-formed but too large, then 413); ``code`` is the
+    machine-readable error token placed in the response body.
+    """
+
+    def __init__(self, message: str, *, status: int = 400,
+                 code: str = "bad_request"):
+        super().__init__(message)
+        self.status = int(status)
+        self.code = str(code)
+
+
+def encode_array(arr) -> dict:
+    """JSON-able document for a dense array (exact bytes, base64)."""
+    arr = np.asarray(arr)
+    if arr.dtype.name not in _WIRE_DTYPES:
+        arr = arr.astype(np.float64)
+    # Little-endian C-order is the wire byte order regardless of host.
+    buf = np.ascontiguousarray(arr.astype(arr.dtype.newbyteorder("<"),
+                                          copy=False))
+    return {
+        "shape": list(arr.shape),
+        "dtype": arr.dtype.name,
+        "data": base64.b64encode(buf.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(doc, *, max_elements: int | None = None,
+                 field: str = "array") -> np.ndarray:
+    """Parse + validate an array document (the untrusted direction).
+
+    Checks structure, dtype whitelist, element count against the declared
+    shape, and (for the server's resource safety) an optional element
+    cap. Non-finite payload values are allowed — they are data, not
+    protocol — but shape/dtype lies are not.
+    """
+    if not isinstance(doc, dict):
+        raise ProtocolError(f"{field} must be an object with "
+                            f"shape/dtype/data, got {type(doc).__name__}")
+    shape = doc.get("shape")
+    dtype = doc.get("dtype", "float64")
+    data = doc.get("data")
+    if (not isinstance(shape, list) or not shape
+            or not all(isinstance(s, int) and s >= 0 for s in shape)):
+        raise ProtocolError(f"{field}.shape must be a non-empty list of "
+                            f"non-negative integers, got {shape!r}")
+    if dtype not in _WIRE_DTYPES:
+        raise ProtocolError(f"{field}.dtype must be one of {_WIRE_DTYPES}, "
+                            f"got {dtype!r}")
+    if not isinstance(data, str):
+        raise ProtocolError(f"{field}.data must be a base64 string")
+    n_elements = math.prod(shape)
+    if max_elements is not None and n_elements > max_elements:
+        raise ProtocolError(
+            f"{field} declares {n_elements} elements, over the server "
+            f"limit of {max_elements}", status=413, code="payload_too_large")
+    try:
+        raw = base64.b64decode(data.encode("ascii"), validate=True)
+    except (binascii.Error, UnicodeEncodeError) as exc:
+        raise ProtocolError(f"{field}.data is not valid base64 "
+                            f"({exc})") from exc
+    itemsize = np.dtype(dtype).itemsize
+    if len(raw) != n_elements * itemsize:
+        raise ProtocolError(
+            f"{field}.data holds {len(raw)} bytes but shape {shape} with "
+            f"dtype {dtype} needs {n_elements * itemsize}")
+    arr = np.frombuffer(raw, dtype=np.dtype(dtype).newbyteorder("<"))
+    return arr.astype(np.dtype(dtype), copy=True).reshape(shape)
+
+
+def error_doc(code: str, message: str) -> dict:
+    """The canonical error body (see module docstring)."""
+    return {"error": {"code": str(code), "message": str(message)}}
+
+
+def _check_finite(value, field: str):
+    if isinstance(value, float) and not math.isfinite(value):
+        raise ProtocolError(f"{field} must be finite, got {value!r}")
+    return value
+
+
+def plan_from_doc(doc):
+    """Untrusted plan document → validated :class:`PlanConfig`.
+
+    ``None``/``{}`` mean "server defaults". Unknown keys are a protocol
+    error (a typoed knob must not silently compile a different plan —
+    the fingerprint would never match the client's expectation again).
+    """
+    from repro.api.plan import PlanConfig
+
+    if doc is None:
+        return PlanConfig()
+    if not isinstance(doc, dict):
+        raise ProtocolError(f"plan must be an object, got "
+                            f"{type(doc).__name__}")
+    unknown = sorted(set(doc) - set(PLAN_KEYS))
+    if unknown:
+        raise ProtocolError(f"plan has unknown key(s) {unknown}; valid "
+                            f"keys: {sorted(PLAN_KEYS)}")
+    for key, value in doc.items():
+        _check_finite(value, f"plan.{key}")
+    try:
+        return PlanConfig(**doc)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid plan: {exc}") from exc
+
+
+def kernel_from_doc(doc):
+    """Untrusted kernel document (or name string) → kernel instance."""
+    from repro.kernels.base import get_kernel
+
+    if doc is None:
+        doc = {"name": "gaussian"}
+    if isinstance(doc, str):
+        doc = {"name": doc}
+    if not isinstance(doc, dict):
+        raise ProtocolError(f"kernel must be a name or an object, got "
+                            f"{type(doc).__name__}")
+    unknown = sorted(set(doc) - KERNEL_KEYS)
+    if unknown:
+        raise ProtocolError(f"kernel has unknown key(s) {unknown}; valid "
+                            f"keys: {sorted(KERNEL_KEYS)}")
+    name = doc.get("name", "gaussian")
+    if not isinstance(name, str):
+        raise ProtocolError("kernel.name must be a string")
+    bandwidth = _check_finite(doc.get("bandwidth", 5.0), "kernel.bandwidth")
+    if not isinstance(bandwidth, (int, float)) or bandwidth <= 0:
+        raise ProtocolError(f"kernel.bandwidth must be a positive number, "
+                            f"got {bandwidth!r}")
+    try:
+        if name in _BANDWIDTH_KERNELS:
+            return get_kernel(name, bandwidth=float(bandwidth))
+        return get_kernel(name)
+    except (KeyError, ValueError) as exc:
+        raise ProtocolError(f"unknown kernel {name!r}") from exc

@@ -1,0 +1,211 @@
+"""Per-tenant namespaces: isolated stores, owned services, quotas.
+
+One :class:`Tenant` owns one :class:`~repro.api.service.KernelService`
+whose :class:`~repro.api.store.PlanStore` root is
+``<server root>/tenants/<name>/store`` — tenants never share artifacts,
+so one tenant's compiled plans (and tuning profiles) are invisible to
+every other tenant even for byte-identical point sets. The directory
+layout is the unit of isolation *and* of operations: ``repro stats
+--store <root> --tenant <name>`` and ``repro gc`` work per tenant.
+
+Quotas are fixed sliding windows per tenant: at most ``max_requests``
+requests and ``max_bytes`` request-body bytes in any trailing
+``window_seconds``. Exceeding either raises :class:`QuotaExceeded`
+(→ HTTP 429 with ``Retry-After``). Accounting is wall-clock based and
+deliberately simple — the goal is to keep one noisy tenant from starving
+the dispatcher, not billing-grade metering.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Tenant", "TenantQuota", "TenantRegistry", "QuotaExceeded",
+           "valid_tenant_name"]
+
+#: Tenant names are path components; this shape keeps them that way.
+_TENANT_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+
+def valid_tenant_name(name) -> bool:
+    """True for names safe to use as a store directory component.
+
+    Rejects path traversal outright (``..``, separators) and anything
+    not matching ``[A-Za-z0-9][A-Za-z0-9_.-]{0,63}``.
+    """
+    return (isinstance(name, str) and bool(_TENANT_NAME.match(name))
+            and ".." not in name)
+
+
+class QuotaExceeded(Exception):
+    """A tenant exhausted its request or byte window (HTTP 429)."""
+
+    def __init__(self, message: str, retry_after: float):
+        super().__init__(message)
+        #: Seconds until the oldest charge leaves the window.
+        self.retry_after = max(float(retry_after), 0.0)
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Sliding-window limits; ``None`` disables a dimension."""
+
+    max_requests: int | None = None
+    max_bytes: int | None = None
+    window_seconds: float = 60.0
+
+    def __post_init__(self):
+        if self.max_requests is not None and self.max_requests < 1:
+            raise ValueError(f"max_requests must be >= 1 or None, got "
+                             f"{self.max_requests}")
+        if self.max_bytes is not None and self.max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1 or None, got "
+                             f"{self.max_bytes}")
+        if self.window_seconds <= 0:
+            raise ValueError(f"window_seconds must be > 0, got "
+                             f"{self.window_seconds}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_requests is not None or self.max_bytes is not None
+
+
+class Tenant:
+    """One tenant's serving state: service, store root, quota window."""
+
+    def __init__(self, name: str, root: Path, *, quota: TenantQuota,
+                 service_kwargs: dict):
+        from repro.api.service import KernelService
+
+        self.name = name
+        self.root = Path(root)
+        self.store_root = self.root / "store"
+        self.quota = quota
+        # manifest=True: the RunManifest lands under the tenant's own
+        # manifests/ dir at close — per-tenant observability for free.
+        self.service = KernelService(store=self.store_root, manifest=True,
+                                     **service_kwargs)
+        self._lock = threading.Lock()
+        self._window: deque[tuple[float, int]] = deque()  # (ts, bytes)
+        self._window_bytes = 0
+        self.requests_total = 0
+        self.bytes_total = 0
+        self.rejected_total = 0
+
+    # ----------------------------------------------------------------- quota
+    def _expire(self, now: float) -> None:
+        horizon = now - self.quota.window_seconds
+        while self._window and self._window[0][0] <= horizon:
+            _, nbytes = self._window.popleft()
+            self._window_bytes -= nbytes
+
+    def charge(self, nbytes: int, now: float | None = None) -> None:
+        """Record one request of ``nbytes``; raise when over quota.
+
+        The rejected request itself is *not* charged — a tenant pinned at
+        its limit recovers as the window slides, rather than pushing the
+        horizon forward with every retry.
+        """
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            self._expire(now)
+            q = self.quota
+            if (q.max_requests is not None
+                    and len(self._window) >= q.max_requests):
+                self.rejected_total += 1
+                oldest = self._window[0][0]
+                raise QuotaExceeded(
+                    f"tenant {self.name!r} is over its request quota "
+                    f"({q.max_requests} per {q.window_seconds:g}s)",
+                    retry_after=oldest + q.window_seconds - now)
+            if (q.max_bytes is not None
+                    and self._window_bytes + nbytes > q.max_bytes):
+                self.rejected_total += 1
+                oldest = (self._window[0][0] if self._window else now)
+                raise QuotaExceeded(
+                    f"tenant {self.name!r} is over its byte quota "
+                    f"({q.max_bytes} bytes per {q.window_seconds:g}s)",
+                    retry_after=oldest + q.window_seconds - now)
+            self._window.append((now, nbytes))
+            self._window_bytes += nbytes
+            self.requests_total += 1
+            self.bytes_total += nbytes
+
+    # ----------------------------------------------------------------- stats
+    def stats(self) -> dict:
+        """Tenant counters + the owned service's serving stats."""
+        with self._lock:
+            self._expire(time.monotonic())
+            quota = {
+                "window_requests": len(self._window),
+                "window_bytes": self._window_bytes,
+                "requests_total": self.requests_total,
+                "bytes_total": self.bytes_total,
+                "rejected_total": self.rejected_total,
+            }
+        sess = self.service.session
+        return {
+            "tenant": self.name,
+            "store_root": str(self.store_root),
+            "endpoints": {pid: self.service.shape(pid)[0]
+                          for pid in self.service.endpoints()},
+            "quota": quota,
+            "service": self.service.stats(include_autotune=False),
+            "session": sess.stats.as_dict(),
+            "store": sess.store.cache_info(),
+            "autotune": sess._executor.autotune_stats(),
+        }
+
+
+class TenantRegistry:
+    """Lazily-created tenants under one server root directory."""
+
+    def __init__(self, root, *, quota: TenantQuota | None = None,
+                 **service_kwargs):
+        self.root = Path(root)
+        self.quota = quota if quota is not None else TenantQuota()
+        self._service_kwargs = dict(service_kwargs)
+        self._tenants: dict[str, Tenant] = {}
+        self._lock = threading.Lock()
+
+    def get(self, name: str) -> Tenant:
+        """The tenant named ``name``, created on first touch.
+
+        Raises ``ValueError`` for names unsafe as path components —
+        callers translate that to a 400 before any directory exists.
+        """
+        if not valid_tenant_name(name):
+            raise ValueError(f"invalid tenant name {name!r}")
+        with self._lock:
+            tenant = self._tenants.get(name)
+            if tenant is None:
+                tenant = Tenant(name, self.root / "tenants" / name,
+                                quota=self.quota,
+                                service_kwargs=self._service_kwargs)
+                self._tenants[name] = tenant
+            return tenant
+
+    def active(self) -> list[Tenant]:
+        with self._lock:
+            return [self._tenants[k] for k in sorted(self._tenants)]
+
+    def drain_all(self, timeout: float | None = None) -> bool:
+        """Drain every tenant service; ``False`` if any timed out."""
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        ok = True
+        for tenant in self.active():
+            remaining = (None if deadline is None
+                         else max(deadline - time.monotonic(), 0.0))
+            ok = tenant.service.drain(remaining) and ok
+        return ok
+
+    def close_all(self) -> None:
+        """Close every tenant service (each writes its RunManifest)."""
+        for tenant in self.active():
+            tenant.service.close()

@@ -138,6 +138,78 @@ class TestValidationAndLifecycle:
             svc.register("again", points_2d)
         svc.close()  # idempotent
 
+    def test_drain_completes_queued_futures(self, points_2d,
+                                            gaussian_kernel, hmatrix_2d):
+        """Queued Futures must COMPLETE during drain — drain() stops
+        intake, it never abandons accepted work with ServiceClosed."""
+        svc = KernelService(plan=PLAN, max_batch=2, max_wait_ms=50.0)
+        try:
+            svc.register("grid", points_2d, kernel=gaussian_kernel,
+                         warm=True)
+            panels = [np.random.default_rng(i).random((len(points_2d), 2))
+                      for i in range(6)]
+            futs = [svc.submit("grid", W) for W in panels]
+            assert svc.drain(timeout=60) is True
+            for W, f in zip(panels, futs):
+                Y = f.result(timeout=1)  # already done, no ServiceClosed
+                np.testing.assert_allclose(Y, hmatrix_2d.matmul(W),
+                                           atol=1e-12)
+            stats = svc.stats()
+            assert stats["served"] == len(panels)
+            assert stats["errors"] == 0
+            assert stats["queue_depth"] == 0
+            assert stats["inflight"] == 0
+            assert stats["draining"] is True
+            assert stats["dispatcher_alive"] is True  # close() not yet run
+        finally:
+            svc.close()
+
+    def test_drain_refuses_new_work_but_keeps_stats(self, points_2d,
+                                                    gaussian_kernel):
+        svc = KernelService(plan=PLAN)
+        try:
+            svc.register("grid", points_2d, kernel=gaussian_kernel,
+                         warm=True)
+            svc.request("grid", np.ones(len(points_2d)), timeout=30)
+            assert svc.drain(timeout=30) is True
+            with pytest.raises(ServiceClosed):
+                svc.submit("grid", np.ones(len(points_2d)))
+            with pytest.raises(ServiceClosed):
+                svc.register("other", points_2d)
+            assert svc.drain(timeout=1) is True  # idempotent
+            assert svc.stats()["served"] == 1  # post-drain stats still work
+        finally:
+            svc.close()
+
+    def test_drain_timeout_returns_false_then_succeeds(self, points_2d,
+                                                       gaussian_kernel):
+        """A 0-timeout drain with work in flight reports False; the
+        drain state persists and a later wait finishes cleanly."""
+        release = threading.Event()
+        started = threading.Event()
+
+        from repro.kernels.gaussian import GaussianKernel
+
+        class _SlowKernel(GaussianKernel):
+            def block(self, X, Y):
+                started.set()
+                release.wait(30)
+                return super().block(X, Y)
+
+        svc = KernelService(plan=PLAN, max_wait_ms=0.0)
+        try:
+            svc.register("grid", points_2d,
+                         kernel=_SlowKernel(bandwidth=0.5))
+            fut = svc.submit("grid", np.ones(len(points_2d)))
+            assert started.wait(30)  # the batch is inside the dispatcher
+            assert svc.drain(timeout=0.01) is False
+            release.set()
+            assert svc.drain(timeout=60) is True
+            assert fut.result(timeout=1) is not None
+        finally:
+            release.set()
+            svc.close()
+
     def test_borrowed_session_left_open(self, points_2d, gaussian_kernel):
         with Session(plan=PLAN) as session:
             with KernelService(session=session) as svc:
