@@ -168,11 +168,14 @@ class KernelService:
     # ------------------------------------------------------------- endpoints
     def register(self, points_id: str, points, kernel="gaussian",
                  plan: PlanConfig | None = None, bacc: float | None = None,
-                 warm: bool = False) -> None:
+                 warm: bool = False) -> bool:
         """Bind ``points_id`` to a point set + kernel + plan.
 
         ``warm=True`` inspects (or loads from the plan store) immediately,
-        so the first request pays no build latency.
+        so the first request pays no build latency. Returns whether a
+        fresh plan build happened (always ``False`` without ``warm``;
+        ``False`` with it means the artifact came from the session cache
+        or the plan store).
         """
         with self._cv:
             if self._closed or self._draining:
@@ -182,17 +185,25 @@ class KernelService:
         plan = self.session._resolve_plan(plan, bacc)
         self._endpoints[points_id] = _Endpoint(
             points=pts, kernel=kernel, plan=plan, n=len(pts))
-        if warm:
-            self.warm(points_id)
+        return self.warm(points_id) if warm else False
 
-    def warm(self, points_id: str | None = None) -> None:
-        """Materialize one endpoint (or all) now, through the plan store."""
+    def warm(self, points_id: str | None = None) -> bool:
+        """Materialize one endpoint (or all) now, through the plan store.
+
+        Returns whether any fresh plan build happened; the build counter
+        is read under the session lock, so the answer is about *this*
+        call even with the dispatcher (or other warmers) running.
+        """
         ids = [points_id] if points_id is not None else list(self._endpoints)
+        built = False
         for pid in ids:
             ep = self._endpoints[pid]
             with self._session_lock:
+                before = self.session.stats.p2_builds
                 self.session.inspect(ep.points, kernel=ep.kernel,
                                      plan=ep.plan)
+                built = built or self.session.stats.p2_builds > before
+        return built
 
     def endpoints(self) -> list[str]:
         return sorted(self._endpoints)

@@ -373,7 +373,8 @@ def cmd_server(args) -> int:
         args.root, tokens=args.tokens, host=args.host, port=args.port,
         quota=quota, max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms, policy=policy,
-        audit_log=False if args.no_audit else args.audit)
+        audit_log=False if args.no_audit else args.audit,
+        metrics_token=args.metrics_token)
     stop = threading.Event()
 
     def _graceful(signum, frame):
@@ -662,6 +663,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tokens", default=None,
                    help="JSON token file ({'tokens': {token: tenant}}); "
                         "omitted, auth is DISABLED (dev mode)")
+    p.add_argument("--metrics-token", default=None,
+                   help="scrape token for the all-tenants /metrics view "
+                        "(with auth on, tenant tokens see only their own "
+                        "series)")
     p.add_argument("--max-batch", type=int, default=8,
                    help="per-tenant dispatcher micro-batch cap")
     p.add_argument("--max-wait-ms", type=float, default=2.0,

@@ -163,7 +163,12 @@ class KernelClient:
         return self._request("GET", self._tenant_path("stats"))
 
     def metrics(self) -> str:
-        """The server-wide ``/metrics`` text (unauthenticated)."""
+        """The ``/metrics`` text (token is sent when configured).
+
+        Against an auth-enabled server a tenant token sees the
+        server-level series plus its own tenant; the server's scrape
+        token (``metrics_token``) unlocks the all-tenants view.
+        """
         return self._request("GET", "/metrics", raw=True)
 
     def health(self) -> dict:

@@ -19,7 +19,10 @@ Endpoints (DESIGN.md §11 has the full table)::
                                 persisted to the tenant's PlanStore root
     POST /v1/{tenant}/matmul    single panel or chunk-streamed multi-RHS
     GET  /v1/{tenant}/stats     tenant counters (quota/service/store)
-    GET  /metrics               Prometheus-style text, all tenants
+    GET  /metrics               Prometheus-style text; with auth on, a
+                                tenant token sees server series + its
+                                own tenant only, the ``metrics_token``
+                                (scrape token) sees all tenants
     GET  /healthz               {"status": "ok" | "draining"}
 
 Shutdown is graceful by construction: :meth:`drain` flips the server to
@@ -31,6 +34,7 @@ next to its store.
 
 from __future__ import annotations
 
+import hmac
 import json
 import re
 import threading
@@ -92,7 +96,7 @@ class _Request:
     """Per-request scratch the handler threads fill in for auditing."""
 
     __slots__ = ("tenant", "verb", "status", "bytes_in", "bytes_out",
-                 "t_start", "detail")
+                 "t_start", "detail", "body_read")
 
     def __init__(self):
         self.tenant = None
@@ -102,6 +106,7 @@ class _Request:
         self.bytes_out = 0
         self.t_start = time.perf_counter()
         self.detail = None
+        self.body_read = False
 
 
 class KernelServer:
@@ -129,6 +134,12 @@ class KernelServer:
         (default) uses ``<root>/audit.jsonl``.
     max_body_bytes / max_elements:
         Request-body and per-array caps (413 beyond them).
+    metrics_token:
+        Scrape token for the all-tenants ``/metrics`` view when auth is
+        on. Without it, ``/metrics`` still requires a valid tenant token
+        and scopes the export to that tenant (server-level series plus
+        its own) — tenant counters must not leak across the auth
+        boundary. Ignored (``/metrics`` stays open) in dev mode.
     """
 
     def __init__(self, root, *, tokens=None, host: str = "127.0.0.1",
@@ -137,7 +148,8 @@ class KernelServer:
                  policy=None, audit_log=None,
                  max_body_bytes: int = DEFAULT_MAX_BODY,
                  max_elements: int = 50_000_000,
-                 request_timeout: float = 120.0):
+                 request_timeout: float = 120.0,
+                 metrics_token: str | None = None):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         if tokens is None or isinstance(tokens, TokenAuthenticator):
@@ -155,9 +167,11 @@ class KernelServer:
         self.max_body_bytes = int(max_body_bytes)
         self.max_elements = int(max_elements)
         self.request_timeout = float(request_timeout)
+        self.metrics_token = metrics_token
 
         self._draining = False
         self._closed = False
+        self._serving = False  # a serve loop has been entered/launched
         self._lock = threading.Lock()
         self._serve_thread: threading.Thread | None = None
         self.started_at = time.time()
@@ -202,6 +216,7 @@ class KernelServer:
     def start(self) -> "KernelServer":
         """Serve in a background thread (tests, embedding); returns self."""
         if self._serve_thread is None:
+            self._serving = True
             self._serve_thread = threading.Thread(
                 target=self._httpd.serve_forever,
                 name="kernel-server-accept", daemon=True)
@@ -210,6 +225,7 @@ class KernelServer:
 
     def serve_forever(self) -> None:
         """Blocking accept loop (the CLI path)."""
+        self._serving = True
         self._httpd.serve_forever()
 
     @property
@@ -240,7 +256,11 @@ class KernelServer:
             self._closed = True
             self._draining = True
         self.tenants.drain_all(timeout)
-        self._httpd.shutdown()  # stops serve_forever (ours or the CLI's)
+        if self._serving:
+            # stops serve_forever (ours or the CLI's). Never started,
+            # shutdown() would block forever on the serve-loop event —
+            # closing the listener socket below is all there is to do.
+            self._httpd.shutdown()
         if self._serve_thread is not None:
             self._serve_thread.join(5.0)
         self._httpd.server_close()
@@ -273,10 +293,17 @@ class KernelServer:
             "tenants": {t.name: t.stats() for t in self.tenants.active()},
         }
 
-    def metrics_text(self) -> str:
+    def metrics_text(self, tenant: str | None = None) -> str:
+        """Prometheus-style export; ``tenant`` scopes it to one tenant's
+        series (server-level counters always included)."""
         from repro.observability.stats import metrics_text
 
-        return metrics_text(self.stats(), prefix="repro_net")
+        stats = self.stats()
+        if tenant is not None:
+            stats["tenants"] = {name: s for name, s
+                                in stats["tenants"].items()
+                                if name == tenant}
+        return metrics_text(stats, prefix="repro_net")
 
     # -------------------------------------------------------------- handling
     def _handle(self, handler: BaseHTTPRequestHandler, method: str) -> None:
@@ -300,7 +327,13 @@ class KernelServer:
             return
         if method == "GET" and path == "/metrics":
             req.verb = "metrics"
-            body = self.metrics_text().encode()
+            try:
+                scope = self._metrics_scope(handler)
+            except AuthError as exc:
+                self._send_error(handler, req, exc.status, exc.code,
+                                 str(exc))
+                return
+            body = self.metrics_text(tenant=scope).encode()
             self._send_raw(handler, req, 200, body,
                            content_type="text/plain; version=0.0.4")
             return
@@ -354,6 +387,26 @@ class KernelServer:
             self._send_error(handler, req, 503, "draining", str(exc),
                              headers={"Retry-After": "1"})
 
+    def _metrics_scope(self, handler) -> str | None:
+        """Who may see what on ``/metrics``: ``None`` = all tenants.
+
+        Dev mode (no authenticator) stays open. With auth on, the
+        configured scrape token unlocks the full export; otherwise the
+        caller must present a valid *tenant* token and sees only the
+        server-level series plus its own tenant — raising
+        :class:`AuthError` (401) for anything else, so an unauthenticated
+        scraper cannot enumerate tenants or read their traffic counters.
+        """
+        if self.auth is None:
+            return None
+        header = handler.headers.get("Authorization")
+        if self.metrics_token is not None and header:
+            scheme, _, token = header.partition(" ")
+            if scheme.lower() == "bearer" and hmac.compare_digest(
+                    token.strip().encode(), self.metrics_token.encode()):
+                return None
+        return self.auth.resolve(header)
+
     def _read_json_body(self, handler, req: _Request) -> dict:
         length = handler.headers.get("Content-Length")
         try:
@@ -361,6 +414,11 @@ class KernelServer:
         except (TypeError, ValueError):
             raise ProtocolError("Content-Length required",
                                 status=411, code="length_required")
+        if length < 0:
+            # rfile.read(-1) would read to EOF: an unbounded client-
+            # controlled allocation sidestepping max_body_bytes.
+            raise ProtocolError(
+                f"Content-Length must be non-negative, got {length}")
         if length > self.max_body_bytes:
             raise ProtocolError(
                 f"request body of {length} bytes exceeds the server cap "
@@ -368,6 +426,11 @@ class KernelServer:
                 code="payload_too_large")
         raw = handler.rfile.read(length)
         req.bytes_in = len(raw)
+        if len(raw) != length:
+            raise ProtocolError(
+                f"request body truncated: Content-Length announced "
+                f"{length} bytes, {len(raw)} arrived")
+        req.body_read = True
         try:
             doc = json.loads(raw)
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
@@ -400,12 +463,12 @@ class KernelServer:
         if not isinstance(points_id, str) or not points_id:
             raise ProtocolError("points_id must be a non-empty string")
         t0 = time.perf_counter()
-        # warm=True inspects now (or loads from the tenant's store), so
-        # the response can report whether the plan was already compiled.
-        before = tenant.service.session.stats.p2_builds
-        tenant.service.register(points_id, points, kernel=kernel,
-                                plan=plan, warm=True)
-        compiled = tenant.service.session.stats.p2_builds > before
+        # warm=True inspects now (or loads from the tenant's store);
+        # register() reports built-vs-store-hit from under the service's
+        # session lock, so concurrent compiles on one tenant cannot
+        # misattribute each other's builds.
+        compiled = tenant.service.register(points_id, points, kernel=kernel,
+                                           plan=plan, warm=True)
         req.detail = points_id
         self._send_json(handler, req, 200, {
             "points_id": points_id,
@@ -485,6 +548,29 @@ class KernelServer:
         except (BrokenPipeError, ConnectionResetError):
             req.status = req.status or status
 
+    @staticmethod
+    def _body_unread(handler, req: _Request) -> bool:
+        """Did this request declare a body nobody consumed?
+
+        True on early-error paths (401/404/413-by-header/429/…) that
+        reply before :meth:`_read_json_body` ran: the unread bytes are
+        still on the socket, and a keep-alive reuse would parse them as
+        the next request line. Those responses must close the connection.
+        """
+        if req.body_read:
+            return False
+        if handler.headers.get("Transfer-Encoding") is not None:
+            return True  # chunked: unknown length, certainly unread
+        declared = handler.headers.get("Content-Length")
+        if declared is None:
+            return False
+        try:
+            # != 0, not > 0: a negative (malformed) length says nothing
+            # about what is actually on the socket — close to be safe.
+            return int(declared) != 0
+        except ValueError:
+            return True
+
     def _send_raw(self, handler, req: _Request, status: int, body: bytes,
                   content_type: str, headers: dict | None = None) -> None:
         req.status = status
@@ -493,6 +579,11 @@ class KernelServer:
         handler.send_header("Content-Type", content_type)
         handler.send_header("Content-Length", str(len(body)))
         handler.send_header("X-Repro-Protocol", str(PROTOCOL_VERSION))
+        if self._body_unread(handler, req):
+            # send_header("Connection", "close") also flips the
+            # handler's close_connection flag, so the socket really is
+            # torn down after this response instead of serving garbage.
+            handler.send_header("Connection", "close")
         for key, value in (headers or {}).items():
             handler.send_header(key, value)
         handler.end_headers()

@@ -383,6 +383,41 @@ class TestServerEndToEnd:
         assert "repro_net_tenants_alice_service_served 1" in text
         assert "repro_net_server_responses_2xx" in text
 
+    def test_metrics_requires_token_when_auth_on(self, server):
+        with pytest.raises(ServerError) as err:
+            KernelClient(server.url).metrics()
+        assert err.value.status == 401
+        # health stays anonymous: load balancers carry no tokens
+        assert KernelClient(server.url).health() == {"status": "ok"}
+
+    def test_metrics_scoped_to_tenant_token(self, server, points_2d):
+        a, b = _client(server), _client(server, "bob", "tok-b")
+        a.compile(points_2d, kernel=KERNEL_DOC, plan=PLAN_DOC)
+        b.compile(points_2d, kernel=KERNEL_DOC, plan=PLAN_DOC)
+        text = a.metrics()
+        assert "repro_net_tenants_alice_" in text
+        assert "repro_net_server_responses_2xx" in text
+        # bob's name, endpoints, and counters must not leak to alice
+        assert "bob" not in text
+
+    def test_metrics_scrape_token_sees_all_tenants(self, tmp_path,
+                                                   points_2d):
+        with KernelServer(tmp_path / "m", tokens=TOKENS,
+                          metrics_token="scrape-tok") as srv:
+            _client(srv).compile(points_2d, kernel=KERNEL_DOC,
+                                 plan=PLAN_DOC)
+            _client(srv, "bob", "tok-b").compile(points_2d,
+                                                 kernel=KERNEL_DOC,
+                                                 plan=PLAN_DOC)
+            text = KernelClient(srv.url, token="scrape-tok").metrics()
+            assert "repro_net_tenants_alice_" in text
+            assert "repro_net_tenants_bob_" in text
+            # the scrape token is not a tenant token: no data-plane access
+            with pytest.raises(ServerError) as err:
+                KernelClient(srv.url, tenant="alice",
+                             token="scrape-tok").stats()
+            assert err.value.status == 401
+
     def test_drain_503_but_observable(self, server, points_2d):
         client = _client(server)
         client.compile(points_2d, kernel=KERNEL_DOC, plan=PLAN_DOC,
@@ -422,6 +457,88 @@ class TestServerEndToEnd:
         assert by_verb["matmul"]["duration_ms"] >= 0
         assert by_verb["stats"]["status"] == 401
         assert by_verb["stats"]["tenant"] is None  # failed auth first
+
+
+class TestConnectionHygiene:
+    """Wire-level behaviour urllib hides: raw sockets, keep-alive."""
+
+    def test_negative_content_length_400(self, server):
+        import http.client
+
+        conn = http.client.HTTPConnection(server.host, server.port,
+                                          timeout=30)
+        try:
+            conn.putrequest("POST", "/v1/alice/compile")
+            conn.putheader("Authorization", "Bearer tok-a")
+            conn.putheader("Content-Length", "-1")
+            conn.endheaders()
+            resp = conn.getresponse()
+            assert resp.status == 400
+            body = json.loads(resp.read())
+            assert body["error"]["code"] == "bad_request"
+            assert "non-negative" in body["error"]["message"]
+        finally:
+            conn.close()
+
+    def test_error_before_body_read_closes_connection(self, server):
+        import http.client
+
+        conn = http.client.HTTPConnection(server.host, server.port,
+                                          timeout=30)
+        try:
+            # 401 is decided from the headers alone: the body is never
+            # read, so HTTP/1.1 keep-alive would leave it on the socket
+            # to be parsed as the next request line.
+            conn.request("POST", "/v1/alice/matmul", body=b"x" * 64,
+                         headers={"Authorization": "Bearer wrong",
+                                  "Content-Type": "application/json"})
+            resp = conn.getresponse()
+            assert resp.status == 401
+            assert resp.getheader("Connection") == "close"
+            resp.read()
+        finally:
+            conn.close()
+
+    def test_keep_alive_survives_post_body_errors(self, server, points_2d):
+        import http.client
+
+        _client(server).compile(points_2d, kernel=KERNEL_DOC,
+                                plan=PLAN_DOC, points_id="grid")
+        w_doc = encode_array(np.ones(len(points_2d)))
+        headers = {"Authorization": "Bearer tok-a",
+                   "Content-Type": "application/json"}
+        conn = http.client.HTTPConnection(server.host, server.port,
+                                          timeout=30)
+        try:
+            # First request 404s AFTER its body was consumed — the
+            # connection must stay clean for the next request.
+            conn.request("POST", "/v1/alice/matmul",
+                         body=json.dumps({"points_id": "ghost",
+                                          "w": w_doc}).encode(),
+                         headers=headers)
+            resp = conn.getresponse()
+            assert resp.status == 404
+            assert resp.getheader("Connection") != "close"
+            resp.read()
+            conn.request("POST", "/v1/alice/matmul",
+                         body=json.dumps({"points_id": "grid",
+                                          "w": w_doc}).encode(),
+                         headers=headers)
+            resp = conn.getresponse()
+            assert resp.status == 200
+            out = json.loads(resp.read())
+            assert decode_array(out["y"]).shape == (len(points_2d),)
+        finally:
+            conn.close()
+
+    def test_close_without_start_does_not_deadlock(self, tmp_path):
+        import threading
+
+        srv = KernelServer(tmp_path / "never-started", tokens=TOKENS)
+        closer = threading.Thread(target=srv.close, daemon=True)
+        closer.start()
+        closer.join(10.0)
+        assert not closer.is_alive()  # shutdown() must not block forever
 
 
 class TestWarmRestart:

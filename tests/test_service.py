@@ -248,6 +248,28 @@ class TestStats:
             assert svc.stats()["errors"] == 1
 
 
+class TestRegisterReturnValue:
+    def test_register_reports_built_vs_cached(self, tmp_path, points_2d,
+                                              gaussian_kernel):
+        """register(warm=True) says whether *this* call built the plan —
+        the server's `compiled` response field rides on it, so a cache
+        or store hit must come back False."""
+        store = tmp_path / "store"
+        with KernelService(plan=PLAN, store=store) as svc:
+            assert svc.register("grid", points_2d, kernel=gaussian_kernel,
+                                warm=True) is True
+            # same artifact, fresh id: session cache hit, not a build
+            assert svc.register("grid2", points_2d, kernel=gaussian_kernel,
+                                warm=True) is False
+            # no warm: nothing materialized, so nothing was built
+            assert svc.register("lazy", points_2d,
+                                kernel=gaussian_kernel) is False
+        with KernelService(plan=PLAN, store=store) as svc2:
+            # fresh session over the same store: disk hit, still False
+            assert svc2.register("grid", points_2d, kernel=gaussian_kernel,
+                                 warm=True) is False
+
+
 class TestReRegistration:
     def test_queued_requests_keep_their_binding(self, points_2d, points_hd,
                                                 gaussian_kernel,
