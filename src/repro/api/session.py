@@ -330,6 +330,7 @@ class Session:
         """Occupancy + hit counters (session + store + tuner + engines)."""
         return {**self.store.cache_info(), **self.stats.as_dict(),
                 "autotune": self._executor.autotune_stats(),
+                "compiled": self._executor.compiled_stats(),
                 "engines": self._executor.engine_stats()}
 
     @property

@@ -38,6 +38,7 @@ may back many Sessions and a :class:`~repro.api.service.KernelService`.
 from __future__ import annotations
 
 import hashlib
+import importlib
 import io
 import json
 import os
@@ -46,6 +47,7 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 from repro.core.io import (
     PlanStoreError,
@@ -58,17 +60,100 @@ from repro.core.io import (
 )
 from repro.observability.faults import active_fault_plan
 
-__all__ = ["PlanStore", "PlanStoreError", "StoreStats"]
+__all__ = [
+    "ArtifactTier",
+    "PlanStore",
+    "PlanStoreError",
+    "StoreStats",
+    "register_tier",
+    "registered_tiers",
+]
 
 #: Version of the store layout (manifest schema + file naming).
 STORE_VERSION = 1
 
-#: tier name -> (save function, load function) in repro.core.io formats.
-_TIERS = {
-    "p1": (save_inspection_p1, load_inspection_p1),
-    "hmatrix": (save_hmatrix, load_hmatrix),
-    "profile": (save_tuning_profile, load_tuning_profile),
-}
+
+@dataclass(frozen=True)
+class ArtifactTier:
+    """One artifact kind the store knows how to persist.
+
+    A tier declares its codec (``save``/``load`` in the
+    :mod:`repro.core.io` calling convention: save to a path/file, load
+    from a path/file, load raising :class:`PlanStoreError` on malformed
+    bytes), a format ``version`` (informational; codecs version their
+    own payloads), the default capacity of its in-memory LRU front, and
+    an optional ``prepare`` hook applied to values on ``put`` (e.g. the
+    profile tier coerces :class:`~repro.tuning.profile.TuningProfile`
+    objects to their dict wire form).
+
+    New tiers plug in via :func:`register_tier` — no edits to this
+    module or :mod:`repro.core.io` required; the compiled-executor tier
+    (:mod:`repro.codegen.compiled`) registers itself this way.
+    """
+
+    name: str
+    save: Callable
+    load: Callable
+    version: int = 1
+    default_memory_entries: int = 16
+    prepare: Callable | None = None
+
+
+def _prepare_profile(profile):
+    return profile.to_dict() if hasattr(profile, "to_dict") else profile
+
+
+#: tier name -> ArtifactTier. The three built-ins register here; other
+#: modules add their own via register_tier().
+_TIER_REGISTRY: dict[str, ArtifactTier] = {}
+
+#: Tiers whose owning module registers them on import: looked up lazily
+#: so a store can warm()/get() such artifacts without the caller having
+#: imported the owner first.
+_TIER_AUTOLOAD = {"compiled": "repro.codegen.compiled"}
+
+
+def register_tier(tier: ArtifactTier) -> ArtifactTier:
+    """Register (or replace) an artifact tier; returns it for chaining."""
+    if not tier.name or not tier.name.isidentifier():
+        raise ValueError(f"tier name must be an identifier, got {tier.name!r}")
+    _TIER_REGISTRY[tier.name] = tier
+    return tier
+
+
+def registered_tiers() -> tuple[str, ...]:
+    """Names of every registered tier (autoloadable ones included)."""
+    for name in _TIER_AUTOLOAD:
+        _lookup_tier(name)
+    return tuple(sorted(_TIER_REGISTRY))
+
+
+def _lookup_tier(name: str) -> ArtifactTier | None:
+    tier = _TIER_REGISTRY.get(name)
+    if tier is None and name in _TIER_AUTOLOAD:
+        try:
+            importlib.import_module(_TIER_AUTOLOAD[name])
+        except ImportError:  # pragma: no cover - owner module broken
+            return None
+        tier = _TIER_REGISTRY.get(name)
+    return tier
+
+
+def _tier(name: str) -> ArtifactTier:
+    tier = _lookup_tier(name)
+    if tier is None:
+        raise ValueError(f"unknown tier {name!r}; must be one of "
+                         f"{sorted(_TIER_REGISTRY)}")
+    return tier
+
+
+register_tier(ArtifactTier("p1", save_inspection_p1, load_inspection_p1,
+                           default_memory_entries=8))
+register_tier(ArtifactTier("hmatrix", save_hmatrix, load_hmatrix,
+                           default_memory_entries=16))
+register_tier(ArtifactTier("profile", save_tuning_profile,
+                           load_tuning_profile, default_memory_entries=32,
+                           prepare=_prepare_profile))
 
 
 @dataclass
@@ -146,25 +231,39 @@ class PlanStore:
 
     def __init__(self, directory=None, *, max_bytes: int | None = None,
                  memory_p1: int = 8, memory_hmatrix: int = 16,
-                 memory_profile: int = 32):
+                 memory_profile: int = 32,
+                 memory_entries: dict | None = None):
         if max_bytes is not None and max_bytes < 1:
             raise ValueError(f"max_bytes must be >= 1 or None, got {max_bytes}")
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
         self.max_bytes = max_bytes
-        self._mem = {"p1": _LRU(memory_p1), "hmatrix": _LRU(memory_hmatrix),
-                     "profile": _LRU(memory_profile)}
+        # Per-tier LRU capacity overrides. The legacy keyword names cover
+        # the built-in tiers; ``memory_entries={"compiled": 4, ...}``
+        # covers any registered tier. LRUs themselves are created lazily
+        # (_mem_for), so tiers registered *after* this store was built
+        # still get a memory front.
+        self._mem_capacity = {"p1": memory_p1, "hmatrix": memory_hmatrix,
+                              "profile": memory_profile,
+                              **(memory_entries or {})}
+        self._mem: dict[str, _LRU] = {}
         self._lock = threading.RLock()
         self.stats = StoreStats()
+
+    def _mem_for(self, tier: str) -> _LRU:
+        mem = self._mem.get(tier)
+        if mem is None:
+            capacity = self._mem_capacity.get(
+                tier, _tier(tier).default_memory_entries)
+            mem = self._mem[tier] = _LRU(capacity)
+        return mem
 
     # ------------------------------------------------------------ addressing
     @staticmethod
     def digest(tier: str, key) -> str:
         """Stable content address of a cache key within a tier."""
-        if tier not in _TIERS:
-            raise ValueError(f"unknown tier {tier!r}; must be one of "
-                             f"{sorted(_TIERS)}")
+        _tier(tier)  # validates the tier name
         payload = repr((tier, repr(key)))
         return hashlib.sha256(payload.encode()).hexdigest()[:32]
 
@@ -214,33 +313,58 @@ class PlanStore:
             pass
 
     # ------------------------------------------------------------ public API
+    def get(self, tier: str, key):
+        """Artifact stored under ``(tier, key)`` — ``None`` on a miss.
+
+        The one get path for every registered :class:`ArtifactTier`
+        (memory LRU → verified disk load). Raises
+        :class:`PlanStoreError` on a hit whose bytes fail verification.
+        """
+        return self._get(tier, key)
+
+    def put(self, tier: str, key, value) -> str:
+        """Persist ``value`` under ``(tier, key)``; returns the digest.
+
+        Applies the tier's ``prepare`` hook (wire-format coercion), then
+        writes memory + disk atomically.
+        """
+        tier_desc = _tier(tier)
+        if tier_desc.prepare is not None:
+            value = tier_desc.prepare(value)
+        return self._put(tier, key, value)
+
+    # Legacy per-tier helpers. Deprecated: use the generic
+    # get(tier, key) / put(tier, key, value) registry API instead; these
+    # remain as thin shims for callers written against the PR-4 surface.
     def get_p1(self, key):
-        return self._get("p1", key)
+        """Deprecated shim for ``get("p1", key)``."""
+        return self.get("p1", key)
 
     def put_p1(self, key, p1) -> str:
-        return self._put("p1", key, p1)
+        """Deprecated shim for ``put("p1", key, p1)``."""
+        return self.put("p1", key, p1)
 
     def get_hmatrix(self, key):
-        return self._get("hmatrix", key)
+        """Deprecated shim for ``get("hmatrix", key)``."""
+        return self.get("hmatrix", key)
 
     def put_hmatrix(self, key, H) -> str:
-        return self._put("hmatrix", key, H)
+        """Deprecated shim for ``put("hmatrix", key, H)``."""
+        return self.put("hmatrix", key, H)
 
     def get_profile(self, key):
-        """Stored tuning-profile dict for ``key`` (None on a miss)."""
-        return self._get("profile", key)
+        """Deprecated shim for ``get("profile", key)``."""
+        return self.get("profile", key)
 
     def put_profile(self, key, profile) -> str:
-        """Persist a tuning profile (dict or TuningProfile) under ``key``."""
-        if hasattr(profile, "to_dict"):
-            profile = profile.to_dict()
-        return self._put("profile", key, profile)
+        """Deprecated shim for ``put("profile", key, profile)``."""
+        return self.put("profile", key, profile)
 
     # ------------------------------------------------------------- get / put
     def _get(self, tier: str, key):
         digest = self.digest(tier, key)
         with self._lock:
-            hit = self._mem[tier].get(digest)
+            hit = self._mem_for(tier).get(digest)
             if hit is not None:
                 self.stats.memory_hits += 1
                 if self.directory is not None:
@@ -276,7 +400,7 @@ class PlanStore:
                 self._quarantine_if_flagged(exc, manifest_path)
                 raise
             self._touch(manifest_path)  # LRU recency for eviction
-            self._mem[tier].put(digest, (repr(key), value))
+            self._mem_for(tier).put(digest, (repr(key), value))
             self.stats.disk_hits += 1
             return value
 
@@ -290,7 +414,7 @@ class PlanStore:
     def _put(self, tier: str, key, value) -> str:
         digest = self.digest(tier, key)
         with self._lock:
-            self._mem[tier].put(digest, (repr(key), value))
+            self._mem_for(tier).put(digest, (repr(key), value))
             if self.directory is not None:
                 self._write(self.directory, tier, digest, repr(key), value)
                 self.stats.puts += 1
@@ -369,7 +493,7 @@ class PlanStore:
         try:
             # Decode the bytes already read for the integrity check; the
             # payload file is not read twice.
-            return _TIERS[tier][1](io.BytesIO(payload))
+            return _tier(tier).load(io.BytesIO(payload))
         except PlanStoreError as exc:
             self._integrity_error(
                 f"store payload {payload_path}: {exc}",
@@ -384,7 +508,7 @@ class PlanStore:
         # numpy does not append a second one.
         tmp_payload = directory / f"{digest}.{os.getpid()}.tmp.npz"
         try:
-            _TIERS[tier][0](value, tmp_payload)
+            _tier(tier).save(value, tmp_payload)
             data = tmp_payload.read_bytes()
             os.replace(tmp_payload, payload_path)
         finally:
@@ -482,7 +606,7 @@ class PlanStore:
                     self._quarantine_if_flagged(exc, manifest_path)
                     raise
                 tier = manifest.get("tier")
-                if tier not in _TIERS:
+                if not isinstance(tier, str) or _lookup_tier(tier) is None:
                     self._integrity_error(
                         f"store manifest {manifest_path} records unknown "
                         f"tier {tier!r}")
@@ -495,8 +619,8 @@ class PlanStore:
                         continue  # concurrently evicted mid-load
                     self._quarantine_if_flagged(exc, manifest_path)
                     raise
-                self._mem[tier].put(manifest_path.stem,
-                                    (manifest.get("key", ""), value))
+                self._mem_for(tier).put(manifest_path.stem,
+                                        (manifest.get("key", ""), value))
                 count += 1
         return count
 
@@ -632,10 +756,10 @@ class PlanStore:
     def cache_info(self) -> dict:
         """Tier occupancy + hit/miss counters (for logs and tests)."""
         with self._lock:
+            tiers = {"p1", "hmatrix", "profile", *self._mem}
             return {
-                "p1_entries": len(self._mem["p1"]),
-                "hmatrix_entries": len(self._mem["hmatrix"]),
-                "profile_entries": len(self._mem["profile"]),
+                **{f"{name}_entries": len(self._mem.get(name) or ())
+                   for name in sorted(tiers)},
                 "disk_entries": (len(self._manifests())
                                  if self.directory is not None else 0),
                 **self.stats.as_dict(),
@@ -643,5 +767,5 @@ class PlanStore:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         where = str(self.directory) if self.directory else "memory-only"
-        return (f"PlanStore({where}, entries={len(self._mem['hmatrix'])}"
-                f"+{len(self._mem['p1'])})")
+        entries = sum(len(mem) for mem in self._mem.values())
+        return f"PlanStore({where}, memory_entries={entries})"

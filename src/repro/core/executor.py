@@ -94,6 +94,7 @@ class Executor:
         self._max_engines = 4
         self._store = store
         self._autotuner = autotuner
+        self._compiled_cache = None
         # Engine-cache lifecycle counters (the observability layer's
         # window into pool behaviour; a respawn is the recovery proof
         # after a WorkerCrashError closed an engine).
@@ -121,6 +122,31 @@ class Executor:
         """Tuner counters (empty dict until auto resolution first runs)."""
         return (self._autotuner.stats_dict()
                 if self._autotuner is not None else {})
+
+    # ------------------------------------------------------------- compiled
+    @property
+    def compiled_cache(self):
+        """This executor's :class:`~repro.codegen.compiled.CompiledCache`.
+
+        Backed by the executor's ``store`` when one was given (compiled
+        artifacts persist in the ``"compiled"`` tier and warm-start
+        later processes with zero recompiles); otherwise the
+        process-global cache (memory-only).
+        """
+        if self._compiled_cache is None:
+            from repro.codegen.compiled import (
+                CompiledCache,
+                default_compiled_cache,
+            )
+            self._compiled_cache = (CompiledCache(store=self._store)
+                                    if self._store is not None
+                                    else default_compiled_cache())
+        return self._compiled_cache
+
+    def compiled_stats(self) -> dict:
+        """Compiled-tier counters (empty until order="compiled" runs)."""
+        return (self._compiled_cache.stats_dict()
+                if self._compiled_cache is not None else {})
 
     def _resolve_auto(self, H: HMatrix, W,
                       pol: ExecutionPolicy) -> ExecutionPolicy:
@@ -193,8 +219,17 @@ class Executor:
         if pol.backend == "process" and pol.order != "original":
             # The process engine implements the batched lowering only;
             # order="original" explicitly asks for the per-block code, so
-            # it wins over the backend and runs in-process.
-            return self.engine_for(H, pol).matmul(W, order=pol.order)
+            # it wins over the backend and runs in-process (and the
+            # compiled tier is an in-process fusion of that same
+            # lowering, so it maps to the engine's batched order).
+            engine_order = "batched" if pol.order == "compiled" else pol.order
+            return self.engine_for(H, pol).matmul(W, order=engine_order)
+        if pol.order == "compiled":
+            # Resolve through this executor's cache (store-backed when
+            # available) so the evaluator attached to H is the persisted
+            # one; H.matmul then dispatches to it — or degrades to the
+            # batched path when resolution returned None.
+            self.compiled_cache.evaluator_for(H)
         if self._pool is None and pol.num_threads and pol.num_threads > 1:
             # Per-call thread request on a pool-less executor: honor it
             # with a short-lived pool rather than silently running serial.

@@ -10,9 +10,12 @@ See DESIGN.md section 9 for the profile format and re-tune triggers.
 """
 
 from repro.tuning.autotune import (
+    AutotuneBackend,
     Autotuner,
     AutotuneStats,
+    autotune_backends,
     default_autotuner,
+    register_autotune_backend,
     reset_default_autotuner,
     resolve_auto,
     tune,
@@ -28,11 +31,14 @@ from repro.tuning.profile import (
 )
 
 __all__ = [
+    "AutotuneBackend",
     "Autotuner",
     "AutotuneStats",
     "PROFILE_FORMAT_VERSION",
     "TuningProfile",
+    "autotune_backends",
     "default_autotuner",
+    "register_autotune_backend",
     "hmatrix_fingerprint",
     "host_signature",
     "policy_from_knobs",

@@ -32,9 +32,11 @@ different host signature, or different pinned knobs.
 
 from __future__ import annotations
 
+import importlib
 import threading
 import time
 import weakref
+from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -61,14 +63,105 @@ from repro.tuning.profile import (
     width_bucket,
 )
 
-__all__ = ["Autotuner", "AutotuneStats", "default_autotuner",
-           "reset_default_autotuner", "resolve_auto", "tune"]
+__all__ = ["AutotuneBackend", "Autotuner", "AutotuneStats",
+           "autotune_backends", "default_autotuner",
+           "register_autotune_backend", "reset_default_autotuner",
+           "resolve_auto", "tune"]
 
 #: Trial panels are capped here: past ~2x the default streaming chunk,
 #: wider trials add wall time without changing any candidate's ranking
 #: (per-column cost is flat), and this width still *discriminates* the
 #: q_chunk candidate (one pass vs two) for the buckets that get one.
 TRIAL_COLS_CAP = 512
+
+
+# --------------------------------------------------------------------------
+# Candidate backends: one registry, enumerated by order="auto",
+# `repro tune`, and stats()["autotune"] alike.
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AutotuneBackend:
+    """One self-describing autotune candidate source.
+
+    ``available(ctx)`` is the capability probe; ``candidates(ctx)``
+    yields policy knob dicts (:func:`~repro.tuning.profile.policy_knobs`
+    keys). The ``ctx`` dict carries the tuning context: ``host``,
+    ``cpus``, ``q``, ``bucket``, ``flops``, ``trial_chunk`` (the widest
+    chunk a trial panel can discriminate), and ``has_batched`` (whether
+    batch lowering was accepted for the operator).
+    """
+
+    name: str
+    available: Callable[[dict], bool]
+    candidates: Callable[[dict], list]
+
+    def __post_init__(self):
+        if not self.name.isidentifier():
+            raise ValueError(f"backend name {self.name!r} must be an "
+                             f"identifier")
+
+
+_BACKEND_REGISTRY: dict[str, AutotuneBackend] = {}
+
+#: Backends living in modules this package must not import eagerly
+#: (repro.codegen.compiled registers itself on import); resolved lazily
+#: the first time the registry is enumerated.
+_BACKEND_AUTOLOAD = {"compiled": "repro.codegen.compiled"}
+
+
+def register_autotune_backend(backend: AutotuneBackend) -> AutotuneBackend:
+    """Register (or replace) a candidate backend by name."""
+    if not isinstance(backend, AutotuneBackend):
+        raise TypeError(f"expected AutotuneBackend, got "
+                        f"{type(backend).__name__}")
+    _BACKEND_REGISTRY[backend.name] = backend
+    return backend
+
+
+def autotune_backends() -> tuple[AutotuneBackend, ...]:
+    """Every registered backend, registration-ordered (after autoload)."""
+    for name, module in _BACKEND_AUTOLOAD.items():
+        if name not in _BACKEND_REGISTRY:
+            try:
+                importlib.import_module(module)
+            except ImportError:  # pragma: no cover - optional module
+                pass
+    return tuple(_BACKEND_REGISTRY.values())
+
+
+def _batched_candidates(ctx: dict) -> list:
+    out = [{"order": "batched"}]
+    # One streaming pass instead of several: worth trying once the
+    # bucket outgrows the generated default panel width. The chunk is
+    # capped at the *trial* width so the candidate is only offered when
+    # the trial actually discriminates it — a candidate whose trial run
+    # is byte-for-byte the default's would make the "measured" winner
+    # pure timing noise.
+    if ctx["trial_chunk"] > DEFAULT_Q_CHUNK:
+        out.append({"order": "batched", "q_chunk": ctx["trial_chunk"]})
+    return out
+
+
+def _original_candidates(ctx: dict) -> list:
+    out = [{"order": "original"}]
+    if ctx["cpus"] > 1:
+        out.append({"order": "original", "num_threads": ctx["cpus"]})
+    return out
+
+
+register_autotune_backend(AutotuneBackend(
+    name="batched", available=lambda ctx: True,
+    candidates=_batched_candidates))
+register_autotune_backend(AutotuneBackend(
+    name="original", available=lambda ctx: True,
+    candidates=_original_candidates))
+register_autotune_backend(AutotuneBackend(
+    name="process",
+    available=lambda ctx: (ctx["cpus"] > 1
+                           and ctx["flops"] >= PROCESS_BACKEND_MIN_FLOPS),
+    candidates=lambda ctx: [{"order": "batched", "backend": "process",
+                             "num_workers": ctx["cpus"]}]))
 
 
 def _fingerprint_drop(tuner_ref, key) -> None:
@@ -188,7 +281,7 @@ class Autotuner:
     def _stored_profile(self, key: tuple) -> TuningProfile | None:
         if self.store is None:
             return None
-        doc = self.store.get_profile(key)
+        doc = self.store.get("profile", key)
         if doc is None:
             return None
         try:
@@ -225,31 +318,22 @@ class Autotuner:
                            pins: dict | None = None) -> list[dict]:
         """The policy grid for ``(H, q)`` as knob dicts, pins applied.
 
+        The grid is the union of every registered
+        :class:`AutotuneBackend` whose probe passes — one source of
+        truth shared with ``repro tune`` and ``stats()["autotune"]``.
         Only result-preserving policies are eligible: ``order="tree"``
         changes the meaning of W's row order, so auto never selects it.
         """
         pins = dict(pins or {})
-        bucket = width_bucket(q)
-        cpus = int(self.host.get("cpus", 1))
-        flops = float(H.evaluation_flops(bucket))
-        grid: list[dict] = [
-            {"order": "batched"},
-            {"order": "original"},
-        ]
-        # One streaming pass instead of several: worth trying once the
-        # bucket outgrows the generated default panel width. The chunk is
-        # capped at the *trial* width so the candidate is only offered
-        # when the trial actually discriminates it — a candidate whose
-        # trial run is byte-for-byte the default's would make the
-        # "measured" winner pure timing noise.
-        chunk = min(bucket, self._trial_width(bucket))
-        if chunk > DEFAULT_Q_CHUNK:
-            grid.append({"order": "batched", "q_chunk": chunk})
-        if cpus > 1:
-            grid.append({"order": "original", "num_threads": cpus})
-        if cpus > 1 and flops >= PROCESS_BACKEND_MIN_FLOPS:
-            grid.append({"order": "batched", "backend": "process",
-                         "num_workers": cpus})
+        ctx = self._backend_ctx(H, q)
+        grid: list[dict] = []
+        for backend in autotune_backends():
+            try:
+                if not backend.available(ctx):
+                    continue
+                grid.extend(dict(knobs) for knobs in backend.candidates(ctx))
+            except Exception:  # noqa: BLE001 - a broken probe is a no-op,
+                continue       # not a tuning failure
         out, seen = [], set()
         for knobs in grid:
             merged = {**knobs, **pins}
@@ -263,6 +347,20 @@ class Autotuner:
             policy_from_knobs(merged)  # validates the combination
             out.append(merged)
         return out
+
+    def _backend_ctx(self, H, q: int) -> dict:
+        """The probe/candidate context handed to every backend."""
+        bucket = width_bucket(q)
+        decision = getattr(H.evaluator, "decision", None)
+        return {
+            "host": dict(self.host),
+            "cpus": int(self.host.get("cpus", 1)),
+            "q": int(q),
+            "bucket": bucket,
+            "flops": float(H.evaluation_flops(bucket)),
+            "trial_chunk": min(bucket, self._trial_width(bucket)),
+            "has_batched": bool(getattr(decision, "batch", False)),
+        }
 
     # ------------------------------------------------------------ measuring
     def tune(self, H, q: int, policy: ExecutionPolicy | None = None,
@@ -319,7 +417,7 @@ class Autotuner:
             self.stats.tunes += 1
             self._profiles[prof.key] = prof
         if self.store is not None:
-            self.store.put_profile(prof.key, prof)
+            self.store.put("profile", prof.key, prof)
         return prof
 
     def _trial_width(self, bucket: int) -> int:
@@ -370,7 +468,8 @@ class Autotuner:
     def stats_dict(self) -> dict:
         with self._lock:
             return {**self.stats.as_dict(),
-                    "profiles": len(self._profiles)}
+                    "profiles": len(self._profiles),
+                    "backends": [b.name for b in autotune_backends()]}
 
 
 # --------------------------------------------------------------------------

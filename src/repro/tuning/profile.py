@@ -28,18 +28,14 @@ SHA-256-manifest path as plan artifacts; see DESIGN.md section 9).
 
 from __future__ import annotations
 
-import platform
 import time
 import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.api.policy import (
-    DEFAULT_POLICY,
-    ExecutionPolicy,
-    effective_cpu_count,
-)
+from repro.api.policy import DEFAULT_POLICY, ExecutionPolicy
+from repro.host import host_key, host_signature
 
 __all__ = [
     "PROFILE_FORMAT_VERSION",
@@ -86,40 +82,9 @@ def policy_from_knobs(knobs: dict) -> ExecutionPolicy:
                               if k in knobs})
 
 
-def _blas_vendor() -> str:
-    """Best-effort BLAS vendor name (part of the host signature)."""
-    try:  # numpy >= 1.26 structured config
-        cfg = np.show_config(mode="dicts")
-        name = (cfg.get("Build Dependencies", {})
-                .get("blas", {}).get("name", ""))
-        if name:
-            return str(name).lower()
-    except Exception:  # noqa: BLE001 - show_config has no stable API
-        pass
-    config = getattr(np, "__config__", None)
-    for vendor in ("mkl", "openblas", "blis", "accelerate", "atlas"):
-        if config is not None and getattr(config, f"{vendor}_info", None):
-            return vendor
-    return "unknown"
-
-
-def host_signature() -> dict:
-    """The host axes a measured winner depends on.
-
-    ``cpus`` is the *effective* count (:func:`effective_cpu_count` — the
-    scheduler-affinity mask, not the machine), so a profile tuned inside
-    a 2-CPU cgroup is never replayed as if 64 cores were available.
-    """
-    return {
-        "cpus": effective_cpu_count(),
-        "blas": _blas_vendor(),
-        "machine": platform.machine() or "unknown",
-    }
-
-
-def host_key(host: dict) -> str:
-    """Canonical string form of a host signature (stable across runs)."""
-    return ";".join(f"{k}={host[k]}" for k in sorted(host))
+# host_signature()/host_key() live in repro.host (shared with the
+# compiled-artifact tier so both key off ONE host definition); they are
+# re-exported here — importing them from this module is deprecated.
 
 
 def hmatrix_fingerprint(H) -> str:

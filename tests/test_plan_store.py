@@ -13,7 +13,7 @@ import numpy as np
 import pytest
 
 from repro import PlanConfig, PlanStore, PlanStoreError, Session
-from repro.api.store import _TIERS
+from repro.api.store import registered_tiers
 
 PLAN = PlanConfig(leaf_size=32, bacc=1e-6, p=4, seed=0)
 
@@ -288,7 +288,10 @@ class TestThreadSafety:
 
 
 def test_tier_registry_covers_all_formats():
-    assert set(_TIERS) == {"p1", "hmatrix", "profile"}
+    # The compiled tier self-registers via the autoload hook, so the
+    # registry enumerates all four without an explicit import here.
+    assert set(registered_tiers()) >= {"p1", "hmatrix", "profile",
+                                       "compiled"}
 
 
 def test_session_rejects_sizes_with_existing_store(tmp_path):
@@ -298,7 +301,7 @@ def test_session_rejects_sizes_with_existing_store(tmp_path):
         Session(store=PlanStore(tmp_path), p1_cache_size=4)
     # Sizes with a *path* store are fine (the session builds the store).
     with Session(store=tmp_path / "s", hmatrix_cache_size=4) as s:
-        assert s.store._mem["hmatrix"].maxsize == 4
+        assert s.store._mem_for("hmatrix").maxsize == 4
 
 
 class TestOrphanedTempFiles:
