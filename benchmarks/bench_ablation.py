@@ -136,7 +136,7 @@ def test_ablation_binpacking(pipelines, benchmark):
     assert t_packed <= t_naive * 1.05
 
     # And the load spread is tighter.
-    for cl_p, cl_n in zip(packed.levels, naive.levels):
+    for cl_p, cl_n in zip(packed.levels, naive.levels, strict=True):
         costs_p = [st.cost for st in cl_p.subtrees]
         costs_n = [st.cost for st in cl_n.subtrees]
         if len(costs_p) > 1 and len(costs_n) > 1 and sum(costs_n) > 0:

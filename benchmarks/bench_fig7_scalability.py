@@ -61,10 +61,9 @@ def scaling_curves(pipelines, systems, name: str, machine, cores):
         curves["gofmm"].append(go.simulate(H.factors, BENCH_Q, m, p=p).time_s)
         curves["strumpack"].append(
             sp.simulate(H.factors, BENCH_Q, m, p=p).time_s)
-    speedups = {
+    return {
         sys_name: [ts[0] / t for t in ts] for sys_name, ts in curves.items()
     }
-    return speedups
 
 
 @pytest.mark.parametrize("machine,cores,mname", [
@@ -103,7 +102,7 @@ def test_fig7_scalability(machine, cores, mname, pipelines, systems, benchmark):
         # MatRox scales further than GOFMM at max cores.
         assert mx[-1] > go[-1], f"{name}/{mname}"
         # MatRox speedup is monotone non-decreasing (within noise).
-        for a, b in zip(mx, mx[1:]):
+        for a, b in zip(mx, mx[1:], strict=False):
             assert b >= a * 0.9, f"{name}/{mname}: matrox regressed"
         if mname == "knl":
             # The paper's headline anomaly: GOFMM declines from 34 to 68.

@@ -125,9 +125,9 @@ def print_table(title: str, headers: list[str], rows: list[list]) -> None:
         max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
         for i, h in enumerate(headers)
     ]
-    print("  " + "  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    print("  " + "  ".join(str(h).rjust(w) for h, w in zip(headers, widths, strict=True)))
     for r in rows:
-        print("  " + "  ".join(str(c).rjust(w) for c, w in zip(r, widths)))
+        print("  " + "  ".join(str(c).rjust(w) for c, w in zip(r, widths, strict=True)))
 
 
 def fmt(x, nd=2):

@@ -195,6 +195,34 @@ def check_file(path: Path) -> list[str]:
                 problems.append(
                     f"{path.name}: {field}={value} after a server restart "
                     f"(gate: warm tenants rebuild nothing)")
+    # Semantic gates for the static-analysis artifact (`repro analyze
+    # --json`): the shipped tree must carry zero unwaived findings,
+    # every waiver must state its reason (an unexplained waiver is just
+    # a suppressed bug), and a race replay recorded in the doc must have
+    # certified at least one engine trace with zero violations.
+    if path.name == "analysis_findings.json" and isinstance(payload, dict):
+        unwaived = payload.get("unwaived")
+        if unwaived is None:
+            problems.append(f"{path.name}: missing unwaived field")
+        elif unwaived != 0:
+            problems.append(
+                f"{path.name}: {unwaived} unwaived finding(s) "
+                f"(gate: the shipped tree lints clean)")
+        for f in payload.get("findings", []):
+            if f.get("waived") and not f.get("waiver_reason"):
+                problems.append(
+                    f"{path.name}: waiver without a reason at "
+                    f"{f.get('path')}:{f.get('line')}")
+        races = payload.get("races")
+        if races is not None:
+            if races.get("traces", 0) < 1:
+                problems.append(
+                    f"{path.name}: race replay certified no traces "
+                    f"(gate: the replay must actually replay)")
+            if races.get("violations", 0) != 0:
+                problems.append(
+                    f"{path.name}: {races['violations']} race violation(s) "
+                    f"in replayed engine traces (gate: zero)")
     # The serve-smoke run manifest must conform to the checked-in JSON
     # schema — an observability artifact nobody can parse is no
     # observability at all — and must prove the run actually served.

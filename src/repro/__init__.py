@@ -81,7 +81,7 @@ from repro.solvers import (
     power_iteration,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "PlanConfig",

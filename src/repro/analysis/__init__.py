@@ -1,15 +1,51 @@
-"""Structure analysis: the paper's blocking and coarsening algorithms.
+"""Analysis: the paper's structure algorithms + the correctness passes.
 
-Consumes the structure information produced by modular compression (HTree,
-CTree, sranks) and produces the structure sets — ``blockset`` for the
-reduction loops and ``coarsenset`` for the loops over the CTree — that drive
-code generation and the CDS data layout.
+Two families live here. The *structure analysis* side consumes the
+information produced by modular compression (HTree, CTree, sranks) and
+produces the structure sets — ``blockset`` for the reduction loops and
+``coarsenset`` for the loops over the CTree — that drive code generation
+and the CDS data layout.
+
+The *correctness analysis* side (DESIGN.md §13) proves invariants the
+tests can only sample: project-aware AST lint rules (:mod:`.lint`), the
+shared-memory race certifier over ProcessEngine traces (:mod:`.races`),
+and the emitted-kernel write-set verifier that gates compiled artifacts
+before execution (:mod:`.codegen_check`). All three are wired into the
+``repro analyze`` CLI verb; their outcome counters (:mod:`.counters`)
+surface in ``repro stats`` and the run manifest.
 """
 
 from repro.analysis.binpack import first_fit_binpack
 from repro.analysis.blocking import build_blockset
 from repro.analysis.coarsening import build_coarsenset
+from repro.analysis.codegen_check import (
+    AnalysisError,
+    verify_artifact,
+    verify_artifact_file,
+)
 from repro.analysis.cost_model import node_cost, subtree_cost
+from repro.analysis.counters import (
+    analysis_counters,
+    bump_analysis_counter,
+    reset_analysis_counters,
+)
+from repro.analysis.lint import (
+    RULES,
+    Finding,
+    findings_to_doc,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.races import (
+    RaceViolation,
+    certify_trace,
+    certify_trace_dir,
+    certify_trace_file,
+    load_trace,
+    save_trace,
+    seed_overlap_violation,
+    trace_from_plans,
+)
 from repro.analysis.structure_sets import BlockSet, CoarsenLevel, CoarsenSet, SubTree
 
 __all__ = [
@@ -22,4 +58,24 @@ __all__ = [
     "CoarsenSet",
     "CoarsenLevel",
     "SubTree",
+    # correctness analysis (DESIGN.md §13)
+    "AnalysisError",
+    "Finding",
+    "RULES",
+    "RaceViolation",
+    "analysis_counters",
+    "bump_analysis_counter",
+    "certify_trace",
+    "certify_trace_dir",
+    "certify_trace_file",
+    "findings_to_doc",
+    "lint_paths",
+    "lint_source",
+    "load_trace",
+    "reset_analysis_counters",
+    "save_trace",
+    "seed_overlap_violation",
+    "trace_from_plans",
+    "verify_artifact",
+    "verify_artifact_file",
 ]

@@ -25,6 +25,7 @@ modules can import it without cycles.
 
 from __future__ import annotations
 
+import contextlib
 import os
 from dataclasses import dataclass, replace
 
@@ -57,10 +58,8 @@ def effective_cpu_count() -> int:
     """
     getaffinity = getattr(os, "sched_getaffinity", None)
     if getaffinity is not None:
-        try:
+        with contextlib.suppress(OSError):  # pragma: no cover - quirk
             return max(1, len(getaffinity(0)))
-        except OSError:  # pragma: no cover - platform quirk
-            pass
     return max(1, os.cpu_count() or 1)
 
 
@@ -129,7 +128,7 @@ class ExecutionPolicy:
     backend: str = "thread"
     num_workers: int | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.order not in VALID_ORDERS:
             raise ValueError(
                 f"order must be one of {VALID_ORDERS}, got {self.order!r}"
@@ -161,7 +160,7 @@ class ExecutionPolicy:
                backend: str | None = None,
                num_workers: int | None = None) -> "ExecutionPolicy":
         """This policy with any explicitly-given knobs overriding it."""
-        updates = {}
+        updates: dict[str, object] = {}
         if order is not None:
             updates["order"] = order
         if num_threads is not None:

@@ -145,21 +145,22 @@ class KernelService:
                 self._manifest_target = Path(manifest)
 
         self._endpoints: dict[str, _Endpoint] = {}
-        self._queue: deque[_Pending] = deque()
+        self._queue: deque[_Pending] = deque()  # guarded-by: self._cv
         self._cv = threading.Condition()
-        self._closed = False
-        self._draining = False
-        self._inflight = 0  # requests taken off the queue, not yet resolved
+        self._closed = False  # guarded-by: self._cv
+        self._draining = False  # guarded-by: self._cv
+        # requests taken off the queue, not yet resolved
+        self._inflight = 0  # guarded-by: self._cv
         # register()/warm() run session.inspect on caller threads; the
         # dispatcher runs inspect+matmul. This lock serializes them.
         self._session_lock = threading.Lock()
 
         self._latencies: deque[float] = deque(maxlen=latency_window)
         self._batch_sizes: deque[int] = deque(maxlen=latency_window)
-        self._max_queue_depth = 0
-        self._served = 0
-        self._errors = 0
-        self._dispatcher_crashes = 0
+        self._max_queue_depth = 0  # guarded-by: self._cv
+        self._served = 0  # guarded-by: self._cv
+        self._errors = 0  # guarded-by: self._cv
+        self._dispatcher_crashes = 0  # guarded-by: self._cv
 
         self._dispatcher = threading.Thread(
             target=self._loop, name="kernel-service-dispatcher", daemon=True)

@@ -26,6 +26,7 @@ counts builds and cache hits so the reuse is observable, not assumed.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
 import threading
@@ -110,10 +111,9 @@ def points_fingerprint(points) -> str:
             _FP_CACHE.move_to_end(key)
             while len(_FP_CACHE) > _FP_CACHE_MAX:
                 _FP_CACHE.popitem(last=False)
-        try:
+        # pragma-ish: ndarray is weakref-able, so this never fires today
+        with contextlib.suppress(TypeError):
             weakref.finalize(points, _fp_cache_drop, key)
-        except TypeError:  # pragma: no cover - ndarray is weakref-able
-            pass
     return fp
 
 

@@ -160,10 +160,8 @@ def cmd_evaluate(args) -> int:
     from repro.api.store import PlanStore
 
     H = load_hmatrix(args.hmatrix)
-    if args.w:
-        W = np.load(args.w)
-    else:
-        W = np.random.default_rng(args.seed).random((H.dim, args.q))
+    W = (np.load(args.w) if args.w
+         else np.random.default_rng(args.seed).random((H.dim, args.q)))
     policy = resolve_policy(order=args.order, num_threads=args.threads,
                             q_chunk=args.q_chunk, backend=args.backend,
                             num_workers=args.workers)
@@ -319,7 +317,7 @@ def cmd_serve(args) -> int:
             W = np.random.default_rng(req.get("seed", i)).random(
                 (n, int(req.get("q", 1))))
             futures.append((pid, service.submit(pid, W)))
-        for pid, fut in futures:
+        for _pid, fut in futures:
             fut.result()
         wall = time.perf_counter() - t0
         stats = service.stats()
@@ -491,6 +489,74 @@ def cmd_stats(args) -> int:
         print(json.dumps(inv, indent=2, sort_keys=True))
     else:
         print(metrics_text(inv, prefix="repro_store"), end="")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.analysis import (
+        AnalysisError,
+        bump_analysis_counter,
+        certify_trace_dir,
+        findings_to_doc,
+        lint_paths,
+        verify_artifact_file,
+    )
+    from repro.observability.manifest import canonical_json
+
+    paths = args.paths or ["src/repro"]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"analyze: no such path(s): {missing}", file=sys.stderr)
+        return 2
+    findings = lint_paths(paths)
+    for finding in findings:
+        print(finding.format())
+    unwaived = [f for f in findings if not f.waived]
+    if unwaived:
+        bump_analysis_counter("lint_findings", len(unwaived))
+    failures = len(unwaived)
+
+    extra: dict = {"paths": [str(p) for p in paths]}
+    if args.races:
+        try:
+            results = certify_trace_dir(args.races)
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"analyze: {exc}", file=sys.stderr)
+            return 2
+        race_count = 0
+        for name, violations in sorted(results.items()):
+            for violation in violations:
+                print(f"{name}: RACE {violation.format()}")
+                race_count += 1
+        extra["races"] = {"traces": len(results),
+                          "violations": race_count}
+        failures += race_count
+        print(f"analyze: {len(results)} engine trace(s) certified, "
+              f"{race_count} race(s)")
+    if args.artifact:
+        try:
+            verify_artifact_file(args.artifact)
+            artifact_ok = True
+            print(f"analyze: {args.artifact}: write sets verified")
+        except AnalysisError as exc:
+            artifact_ok = False
+            print(f"analyze: {args.artifact}: {exc}", file=sys.stderr)
+            failures += 1
+        extra["artifact"] = {"path": str(args.artifact),
+                             "verified": artifact_ok}
+
+    doc = findings_to_doc(findings, extra=extra)
+    if args.json:
+        out = Path(args.json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(canonical_json(doc))
+        print(f"analyze: findings -> {out}")
+    print(f"analyze: {len(findings)} finding(s), {len(unwaived)} unwaived, "
+          f"{doc['waived']} waived")
+    if args.strict and failures:
+        print(f"analyze: strict mode: {failures} failure(s)",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -746,6 +812,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dry-run", action="store_true",
                    help="report what would be removed without removing it")
     p.set_defaults(fn=cmd_gc)
+
+    p = sub.add_parser(
+        "analyze",
+        help="project static analysis: lint rules R001-R004, race "
+             "certification, compiled write-set verification")
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint (default: src/repro)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 1 on any unwaived finding, race, or "
+                        "rejected artifact")
+    p.add_argument("--json", default=None,
+                   help="write the machine-readable findings JSON here")
+    p.add_argument("--races", default=None, metavar="DIR",
+                   help="certify every engine access trace (*.json) in DIR")
+    p.add_argument("--artifact", default=None, metavar="NPZ",
+                   help="verify a compiled artifact's write sets")
+    p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser("info", help="summarise a stored HMatrix")
     p.add_argument("hmatrix")

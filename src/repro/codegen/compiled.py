@@ -55,11 +55,11 @@ import importlib.util
 import json
 import os
 import threading
-import time
 from dataclasses import dataclass, field, replace as _dc_replace
 
 import numpy as np
 
+from repro.analysis.codegen_check import AnalysisError, verify_artifact
 from repro.api.store import ArtifactTier, register_tier
 from repro.codegen.emit import (
     GeneratedEvaluator,
@@ -320,9 +320,9 @@ def _validate_tables(art: CompiledArtifact) -> None:
         need = int(sum(szfn(row) for row in specs)) if specs.size else 0
         if arena.size != need:
             fail(f"arena holds {arena.size} values, specs need {need}")
-    if t["up_specs"].size:
-        if int(t["up_level_sizes"].sum()) != len(t["up_specs"]):
-            fail("up_level_sizes does not partition up_specs")
+    if (t["up_specs"].size
+            and int(t["up_level_sizes"].sum()) != len(t["up_specs"])):
+        fail("up_level_sizes does not partition up_specs")
     for gidx in (t["near_gidx"], t["far_gidx"], t["up_gidx"], t["up_own"],
                  t["fstack_orows"]):
         if gidx.size and gidx.min() < 0:
@@ -340,7 +340,8 @@ def _expand_runs(runs) -> np.ndarray:
 
 def build_artifact(cds, *, backend: str | None = None,
                    fingerprint: str = "", host: dict | None = None,
-                   name: str = "hmatmul_compiled") -> CompiledArtifact:
+                   name: str = "hmatmul_compiled",
+                   created: float | None = None) -> CompiledArtifact:
     """Lower one CDS matrix to a :class:`CompiledArtifact`.
 
     Reuses the exact table builders behind the batched evaluator
@@ -363,7 +364,7 @@ def build_artifact(cds, *, backend: str | None = None,
 
     # ---- near: one 2-D GEMM per row panel --------------------------------
     near_specs, near_gidx, near_chunks = [], [], []
-    for panel, runs, k, si, ei in near_panels:
+    for panel, runs, k, si, _ei in near_panels:
         m = panel.shape[0]
         if len(runs) == 1:
             near_specs.append((0, m, k, si, runs[0][0]))
@@ -375,7 +376,7 @@ def build_artifact(cds, *, backend: str | None = None,
 
     # ---- far: same-shape groups stack; the rest stay 2-D -----------------
     by_shape: dict[tuple, list[int]] = {}
-    for idx, (panel, runs, k, si, ei) in enumerate(far_panels):
+    for idx, (panel, _runs, k, _si, _ei) in enumerate(far_panels):
         by_shape.setdefault((panel.shape[0], k), []).append(idx)
     stacked = {i for members in by_shape.values() if len(members) > 1
                for i in members}
@@ -396,7 +397,7 @@ def build_artifact(cds, *, backend: str | None = None,
         fstack_specs.append((len(members), m, k, gat_off, orow_off))
 
     far_specs, far_chunks = [], []
-    for idx, (panel, runs, k, si, ei) in enumerate(far_panels):
+    for idx, (panel, runs, k, si, _ei) in enumerate(far_panels):
         if idx in stacked:
             continue
         m = panel.shape[0]
@@ -469,7 +470,10 @@ def build_artifact(cds, *, backend: str | None = None,
         "fingerprint": str(fingerprint),
         "host": dict(host if host is not None else host_signature()),
         "counts": counts,
-        "created": time.time(),
+        # Explicit input, never a clock sample (lint rule R004): two
+        # builds from the same CDS must produce byte-identical payloads
+        # unless the caller *chooses* to timestamp them.
+        "created": created,
     }
     source = _SOURCE_TEMPLATE.format(
         name=name, backend=backend,
@@ -580,7 +584,8 @@ class _Plan:
         ranges = [(e[4], e[4] + e[2]) for e in self.near]
         self.near_dense = bool(
             ranges and ranges[0][0] == 0 and ranges[-1][1] == self.dim
-            and all(a[1] == b[0] for a, b in zip(ranges, ranges[1:])))
+            and all(a[1] == b[0]
+                    for a, b in zip(ranges, ranges[1:], strict=False)))
         self.far = []
         for (mode, m, k, si, a), chunk in panels(
                 t["far_specs"], t["far_arena"], lambda d: d[1] * d[2]):
@@ -820,8 +825,11 @@ class CompiledStats:
     Session restart over a populated store must keep it at zero.
     ``fallbacks`` maps a typed reason (``host_mismatch``,
     ``numba_missing``, ``version_skew``, ``fingerprint_mismatch``,
-    ``store_corrupt``, ``no_batched_lowering``, ``build_error``) to how
-    many times ``order="compiled"`` degraded to the batched path.
+    ``store_corrupt``, ``no_batched_lowering``, ``build_error``,
+    ``writeset_violation`` — the artifact failed the
+    :func:`repro.analysis.codegen_check.verify_artifact` write-set
+    proof) to how many times ``order="compiled"`` degraded to the
+    batched path.
     """
 
     builds: int = 0
@@ -891,6 +899,17 @@ class CompiledCache:
                     self._fallback(reason)
                     H.attach_compiled(None)
                     return None
+                # Write-set verification gates every store-loaded
+                # artifact *before* its source is exec'd or its tables
+                # indexed: overlapping scatter sets (store rot, a
+                # doctored payload, a future codegen bug) degrade to
+                # batched instead of executing wrong.
+                try:
+                    verify_artifact(art)
+                except AnalysisError:
+                    self._fallback("writeset_violation")
+                    H.attach_compiled(None)
+                    return None
                 try:
                     ev = evaluator_from_artifact(art, batched)
                 except PlanStoreError:
@@ -905,6 +924,14 @@ class CompiledCache:
                 ev = compile_evaluator(H, backend=self.backend)
             except Exception:  # noqa: BLE001 - serving degrades, never raises
                 self._fallback("build_error")
+                H.attach_compiled(None)
+                return None
+            # Fresh builds are verified too — the guard is against
+            # emitted-code bugs as much as against store rot.
+            try:
+                verify_artifact(ev.artifact)
+            except AnalysisError:
+                self._fallback("writeset_violation")
                 H.attach_compiled(None)
                 return None
             self.stats.builds += 1

@@ -15,7 +15,7 @@ so block/sub-tree tasks genuinely overlap).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
@@ -399,7 +399,7 @@ def _row_panel_tables(pairs, row_range, col_range, blocks):
         m = blocks[(i, js[0])].shape[0]
         if len(runs) > 1 and hi - lo <= _PAD_LIMIT * k:
             panel = np.zeros((m, hi - lo))
-            for j, (a, b) in zip(js, segs):
+            for j, (a, b) in zip(js, segs, strict=True):
                 panel[:, a - lo:b - lo] = blocks[(i, j)]
             runs = ((lo, hi),)
             k = hi - lo

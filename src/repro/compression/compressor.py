@@ -74,10 +74,8 @@ def compress(
 
     t0 = time.perf_counter()
     if htree is None:
-        if isinstance(structure, Admissibility):
-            adm = structure
-        else:
-            adm = make_admissibility(structure, **structure_params)
+        adm = (structure if isinstance(structure, Admissibility)
+               else make_admissibility(structure, **structure_params))
         htree = build_htree(tree, adm)
     timings["interaction_computation"] = time.perf_counter() - t0
 

@@ -81,11 +81,11 @@ class Factors:
         flops = 0
         for (i, j) in self.near_blocks:
             flops += 2 * t.node_size(i) * t.node_size(j) * q
-        for v, V in self.leaf_basis.items():
+        for _v, V in self.leaf_basis.items():
             flops += 2 * 2 * V.shape[0] * V.shape[1] * q
-        for v, E in self.transfer.items():
+        for _v, E in self.transfer.items():
             flops += 2 * 2 * E.shape[0] * E.shape[1] * q
-        for (i, j), B in self.coupling.items():
+        for (_i, _j), B in self.coupling.items():
             flops += 2 * B.shape[0] * B.shape[1] * q
         return flops
 

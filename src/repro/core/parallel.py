@@ -32,6 +32,7 @@ down on ``close()``.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing as mp
 import os
 import signal
@@ -62,6 +63,11 @@ PHASE_NAMES = {
     _PHASE_FAR: "far",
     _PHASE_LEAF_DOWN: "leaf_down",
 }
+
+
+#: Monotone suffix for ``MATROX_TRACE_DIR`` dump filenames (several
+#: engines may close within one process; pid alone would collide).
+_trace_dump_seq = 0
 
 
 class WorkerCrashError(RuntimeError):
@@ -364,6 +370,10 @@ class ProcessEngine:
         )
 
         plans = self._build_plans(cds, toff)
+        # Retained for the race certifier (repro.analysis.races): the
+        # plans *are* the engine's access trace — workers execute
+        # exactly the panels listed here, every call.
+        self._plans = plans
         if self.num_workers == 0:
             # Inline mode: same shards, no pool, plain scratch arrays.
             self._inline_states = [
@@ -400,7 +410,7 @@ class ProcessEngine:
         for key, rows in scratch_rows.items():
             share(key, max(rows, 1) * self.q_cap)
         # Master-side scratch views (the interior levels run here).
-        self._seg_by_key = dict(zip(shm_names, self._segments))
+        self._seg_by_key = dict(zip(shm_names, self._segments, strict=True))
 
         ctx = mp.get_context(start_method or default_start_method())
         try:
@@ -617,6 +627,39 @@ class ProcessEngine:
         """
         return self._H_ref()
 
+    def access_trace(self) -> dict:
+        """The engine's shared-memory access trace (DESIGN.md §13).
+
+        A JSON-able record of every (actor, phase, array, row-interval,
+        read/write) access the 3-phase protocol performs, derived from
+        the shard plans — feed it to
+        :func:`repro.analysis.races.certify_trace` to prove the
+        single-writer-per-row invariant for this engine instance.
+        """
+        from repro.analysis.races import trace_from_plans
+
+        return trace_from_plans(
+            self._plans, n=self.n, rank_rows=self.rank_rows,
+            num_workers=self.num_workers, calls=self.calls,
+            chunks=self.chunks)
+
+    def _maybe_dump_trace(self) -> None:
+        """Best-effort trace dump at close when ``MATROX_TRACE_DIR`` is
+        set and the engine actually ran — the CI analyze job replays
+        these through ``repro analyze --races`` after the chaos and
+        equivalence suites."""
+        directory = os.environ.get("MATROX_TRACE_DIR")
+        if not directory or self.calls == 0:
+            return
+        global _trace_dump_seq
+        _trace_dump_seq += 1
+        name = f"trace-{os.getpid()}-{_trace_dump_seq}.json"
+        from repro.analysis.races import save_trace
+
+        # A full/read-only trace dir must not fail close().
+        with contextlib.suppress(OSError):
+            save_trace(self.access_trace(), os.path.join(directory, name))
+
     def worker_pids(self) -> list[int]:
         return [p.pid for p in self._workers]
 
@@ -632,6 +675,7 @@ class ProcessEngine:
         if self._closed:
             return
         self._closed = True
+        self._maybe_dump_trace()
         if self._finalizer is not None:
             self._finalizer.detach()
         _shutdown_pool(self._workers, self._conns, self._segments)
@@ -648,23 +692,17 @@ class ProcessEngine:
 def _shutdown_pool(workers, conns, segments) -> None:
     """Best-effort orderly stop; module-level so a GC finalizer can run it."""
     for conn in conns:
-        try:
+        with contextlib.suppress(OSError, ValueError):
             conn.send(("stop",))
-        except (OSError, ValueError):
-            pass
     for proc in workers:
         proc.join(timeout=5.0)
         if proc.is_alive():  # pragma: no cover - deadlock guard
             proc.terminate()
             proc.join(timeout=1.0)
     for conn in conns:
-        try:
+        with contextlib.suppress(OSError):  # pragma: no cover
             conn.close()
-        except OSError:  # pragma: no cover
-            pass
     for seg in segments:
-        try:
+        with contextlib.suppress(FileNotFoundError):  # already unlinked
             seg.close()
             seg.unlink()
-        except FileNotFoundError:  # pragma: no cover - already unlinked
-            pass

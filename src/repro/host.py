@@ -13,6 +13,7 @@ compatibility.
 
 from __future__ import annotations
 
+import contextlib
 import platform
 
 import numpy as np
@@ -24,14 +25,13 @@ __all__ = ["host_key", "host_signature"]
 
 def _blas_vendor() -> str:
     """Best-effort BLAS vendor name (part of the host signature)."""
-    try:  # numpy >= 1.26 structured config
+    # show_config has no stable API; any failure means "unknown".
+    with contextlib.suppress(Exception):  # numpy >= 1.26 structured config
         cfg = np.show_config(mode="dicts")
         name = (cfg.get("Build Dependencies", {})
                 .get("blas", {}).get("name", ""))
         if name:
             return str(name).lower()
-    except Exception:  # noqa: BLE001 - show_config has no stable API
-        pass
     config = getattr(np, "__config__", None)
     for vendor in ("mkl", "openblas", "blis", "accelerate", "atlas"):
         if config is not None and getattr(config, f"{vendor}_info", None):

@@ -18,6 +18,7 @@ the concatenated result is bit-identical to the unchunked product.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import urllib.error
 import urllib.request
@@ -96,12 +97,10 @@ class KernelClient:
     @staticmethod
     def _server_error(exc: urllib.error.HTTPError) -> ServerError:
         code, message = "error", exc.reason
-        try:
+        with contextlib.suppress(ValueError, OSError):
             detail = json.loads(exc.read()).get("error", {})
             code = detail.get("code", code)
             message = detail.get("message", message)
-        except (ValueError, OSError):
-            pass
         retry_after = exc.headers.get("Retry-After")
         return ServerError(exc.code, code, message,
                            retry_after=(float(retry_after)

@@ -32,8 +32,13 @@ from __future__ import annotations
 import base64
 import binascii
 import math
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.api.plan import PlanConfig
+    from repro.kernels.base import Kernel
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -72,13 +77,13 @@ class ProtocolError(ValueError):
     """
 
     def __init__(self, message: str, *, status: int = 400,
-                 code: str = "bad_request"):
+                 code: str = "bad_request") -> None:
         super().__init__(message)
         self.status = int(status)
         self.code = str(code)
 
 
-def encode_array(arr) -> dict:
+def encode_array(arr: Any) -> dict[str, Any]:
     """JSON-able document for a dense array (exact bytes, base64)."""
     arr = np.asarray(arr)
     if arr.dtype.name not in _WIRE_DTYPES:
@@ -93,8 +98,8 @@ def encode_array(arr) -> dict:
     }
 
 
-def decode_array(doc, *, max_elements: int | None = None,
-                 field: str = "array") -> np.ndarray:
+def decode_array(doc: object, *, max_elements: int | None = None,
+                 field: str = "array") -> np.ndarray[Any, np.dtype[Any]]:
     """Parse + validate an array document (the untrusted direction).
 
     Checks structure, dtype whitelist, element count against the declared
@@ -136,18 +141,18 @@ def decode_array(doc, *, max_elements: int | None = None,
     return arr.astype(np.dtype(dtype), copy=True).reshape(shape)
 
 
-def error_doc(code: str, message: str) -> dict:
+def error_doc(code: str, message: str) -> dict[str, dict[str, str]]:
     """The canonical error body (see module docstring)."""
     return {"error": {"code": str(code), "message": str(message)}}
 
 
-def _check_finite(value, field: str):
+def _check_finite(value: object, field: str) -> object:
     if isinstance(value, float) and not math.isfinite(value):
         raise ProtocolError(f"{field} must be finite, got {value!r}")
     return value
 
 
-def plan_from_doc(doc):
+def plan_from_doc(doc: object) -> "PlanConfig":
     """Untrusted plan document → validated :class:`PlanConfig`.
 
     ``None``/``{}`` mean "server defaults". Unknown keys are a protocol
@@ -173,7 +178,7 @@ def plan_from_doc(doc):
         raise ProtocolError(f"invalid plan: {exc}") from exc
 
 
-def kernel_from_doc(doc):
+def kernel_from_doc(doc: object) -> "Kernel":
     """Untrusted kernel document (or name string) → kernel instance."""
     from repro.kernels.base import get_kernel
 

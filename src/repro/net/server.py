@@ -169,16 +169,16 @@ class KernelServer:
         self.request_timeout = float(request_timeout)
         self.metrics_token = metrics_token
 
-        self._draining = False
-        self._closed = False
+        self._draining = False  # guarded-by: self._lock
+        self._closed = False  # guarded-by: self._lock
         self._serving = False  # a serve loop has been entered/launched
         self._lock = threading.Lock()
         self._serve_thread: threading.Thread | None = None
         self.started_at = time.time()
         # status class -> count, plus totals (under self._lock).
-        self._responses = {"2xx": 0, "4xx": 0, "5xx": 0}
-        self._bytes_in = 0
-        self._bytes_out = 0
+        self._responses = {"2xx": 0, "4xx": 0, "5xx": 0}  # guarded-by: self._lock
+        self._bytes_in = 0  # guarded-by: self._lock
+        self._bytes_out = 0  # guarded-by: self._lock
 
         server = self
 
@@ -413,7 +413,8 @@ class KernelServer:
             length = int(length)
         except (TypeError, ValueError):
             raise ProtocolError("Content-Length required",
-                                status=411, code="length_required")
+                                status=411,
+                                code="length_required") from None
         if length < 0:
             # rfile.read(-1) would read to EOF: an unbounded client-
             # controlled allocation sidestepping max_body_bytes.
@@ -514,7 +515,7 @@ class KernelServer:
             rows = panel.shape[0]
             if panel.ndim not in (1, 2) or rows != n:
                 raise ProtocolError(
-                    f"{'w_chunks[%d]' % i if chunked else 'w'} must have "
+                    f"{f'w_chunks[{i}]' if chunked else 'w'} must have "
                     f"{n} rows for {points_id!r}, got shape "
                     f"{list(panel.shape)}")
         t0 = time.perf_counter()

@@ -186,9 +186,15 @@ def build_run_manifest(*, session=None, service=None,
     cache, the autotuner's decisions with margins, and (when a service
     is given) the dispatcher's latency/batching stats.
     """
+    from repro.analysis.counters import analysis_counters
+
     if service is not None and session is None:
         session = service.session
-    stats: dict = {"manifest_write_failures": manifest_write_failures()}
+    # What the run *proved*, not just what it did: write-set and race
+    # certification outcomes (deterministic counters, so the manifest's
+    # byte-identity contract holds).
+    stats: dict = {"manifest_write_failures": manifest_write_failures(),
+                   "analysis": analysis_counters()}
     decisions: list = []
     if session is not None:
         stats["store"] = session.store.cache_info()

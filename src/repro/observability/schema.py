@@ -14,6 +14,7 @@ never silently stop being enforced.
 from __future__ import annotations
 
 import re
+from typing import Any
 
 __all__ = ["SchemaError", "validate_json"]
 
@@ -23,7 +24,7 @@ _KNOWN_KEYWORDS = {
     "enum", "pattern", "minimum",
 }
 
-_TYPES = {
+_TYPES: dict[str, type[object] | tuple[type[object], ...]] = {
     "object": dict,
     "array": list,
     "string": str,
@@ -38,7 +39,7 @@ class SchemaError(ValueError):
     """The schema itself uses a keyword this validator does not cover."""
 
 
-def _type_ok(value, names) -> bool:
+def _type_ok(value: object, names: str | list[str]) -> bool:
     names = [names] if isinstance(names, str) else list(names)
     for name in names:
         if name not in _TYPES:
@@ -54,7 +55,8 @@ def _type_ok(value, names) -> bool:
     return False
 
 
-def validate_json(doc, schema: dict, path: str = "$") -> list[str]:
+def validate_json(doc: object, schema: dict[str, Any],
+                  path: str = "$") -> list[str]:
     """Validate ``doc`` against the schema subset; returns error strings.
 
     An empty list means the document conforms. Raises
@@ -76,11 +78,11 @@ def validate_json(doc, schema: dict, path: str = "$") -> list[str]:
         return errors  # further keyword checks assume the right type
     if "enum" in schema and doc not in schema["enum"]:
         errors.append(f"{path}: {doc!r} not in enum {schema['enum']}")
-    if "pattern" in schema and isinstance(doc, str):
-        if re.search(schema["pattern"], doc) is None:
-            errors.append(
-                f"{path}: {doc!r} does not match pattern "
-                f"{schema['pattern']!r}")
+    if ("pattern" in schema and isinstance(doc, str)
+            and re.search(schema["pattern"], doc) is None):
+        errors.append(
+            f"{path}: {doc!r} does not match pattern "
+            f"{schema['pattern']!r}")
     if "minimum" in schema and isinstance(doc, (int, float)) \
             and not isinstance(doc, bool) and doc < schema["minimum"]:
         errors.append(f"{path}: {doc} < minimum {schema['minimum']}")

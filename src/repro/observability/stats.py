@@ -30,6 +30,7 @@ def collect_stats(*, session=None, service=None, executor=None,
     Components imply their dependencies: a service implies its session,
     a session implies its store and executor. Explicit arguments win.
     """
+    from repro.analysis.counters import analysis_counters
     from repro.observability.manifest import manifest_write_failures
 
     if service is not None and session is None:
@@ -37,7 +38,8 @@ def collect_stats(*, session=None, service=None, executor=None,
     if session is not None:
         store = store if store is not None else session.store
         executor = executor if executor is not None else session._executor
-    out: dict = {"manifest_write_failures": manifest_write_failures()}
+    out: dict = {"manifest_write_failures": manifest_write_failures(),
+                 "analysis": analysis_counters()}
     if store is not None:
         out["store"] = store.cache_info()
     if session is not None:

@@ -78,9 +78,9 @@ def line_chart(
         ymax = ymin + 1.0
 
     grid = [[" "] * width for _ in range(height)]
-    for j, (name, vals) in enumerate(series.items()):
+    for j, (_name, vals) in enumerate(series.items()):
         sym = symbol_cycle[j % len(symbol_cycle)]
-        for xi, yi in zip(x, vals):
+        for xi, yi in zip(x, vals, strict=True):
             col = int((xi - xmin) / (xmax - xmin) * (width - 1))
             row = int((yi - ymin) / (ymax - ymin) * (height - 1))
             grid[height - 1 - row][col] = sym
@@ -127,14 +127,15 @@ def scatter_plot(
         my = sum(y) / n
         sxx = sum((xi - mx) ** 2 for xi in x)
         if sxx > 0:
-            slope = sum((xi - mx) * (yi - my) for xi, yi in zip(x, y)) / sxx
+            slope = sum((xi - mx) * (yi - my)
+                        for xi, yi in zip(x, y, strict=True)) / sxx
             for col in range(width):
                 xv = xmin + col / (width - 1) * (xmax - xmin)
                 yv = my + slope * (xv - mx)
                 if ymin <= yv <= ymax:
                     row = int((yv - ymin) / (ymax - ymin) * (height - 1))
                     grid[height - 1 - row][col] = "."
-    for xi, yi in zip(x, y):
+    for xi, yi in zip(x, y, strict=True):
         col = int((xi - xmin) / (xmax - xmin) * (width - 1))
         row = int((yi - ymin) / (ymax - ymin) * (height - 1))
         grid[height - 1 - row][col] = "*"

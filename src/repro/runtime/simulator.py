@@ -199,7 +199,7 @@ def simulate_dynamic(
             dependents[d].append(i)
 
     ready: list[tuple[float, int]] = []  # (ready_time, task_idx) FIFO-ish
-    for i, t in enumerate(tasks):
+    for i in range(len(tasks)):
         if indeg[i] == 0:
             heapq.heappush(ready, (0.0, i))
 

@@ -159,7 +159,8 @@ def matrox_phases(cds: CDSMatrix, q: int, decision=None) -> list[Phase]:
         else:
             pairs = [(i, j) for block in near_blocks for (i, j) in block]
             tasks = [_near_task(factors, i, j, q) for (i, j) in pairs]
-            _mark_atomics(list(zip(tasks, (i for (i, _j) in pairs))))
+            _mark_atomics(list(zip(tasks, (i for (i, _j) in pairs),
+                                   strict=True)))
             phases.append(Phase("near", "parallel_for",
                                 [[t] for t in tasks], atomic_per_task=True))
 
@@ -221,7 +222,8 @@ def matrox_phases(cds: CDSMatrix, q: int, decision=None) -> list[Phase]:
         else:
             pairs = [(i, j) for block in far_blocks for (i, j) in block]
             tasks = [_coupling_task(factors, i, j, q) for (i, j) in pairs]
-            _mark_atomics(list(zip(tasks, (i for (i, _j) in pairs))))
+            _mark_atomics(list(zip(tasks, (i for (i, _j) in pairs),
+                                   strict=True)))
             phases.append(Phase("coupling", "parallel_for",
                                 [[t] for t in tasks], atomic_per_task=True))
 
@@ -350,7 +352,8 @@ def levelbylevel_phases(factors: Factors, q: int) -> list[Phase]:
     # Near loop with atomics (Fig. 1d lines 3-6).
     near_pairs = sorted(factors.near_blocks)
     near_tasks = [_near_task(factors, i, j, q) for (i, j) in near_pairs]
-    _mark_atomics(list(zip(near_tasks, (i for (i, _j) in near_pairs))))
+    _mark_atomics(list(zip(near_tasks, (i for (i, _j) in near_pairs),
+                           strict=True)))
     if near_tasks:
         phases.append(Phase("near", "parallel_for",
                             [[t] for t in near_tasks], atomic_per_task=True))
@@ -371,7 +374,8 @@ def levelbylevel_phases(factors: Factors, q: int) -> list[Phase]:
     # Coupling with atomics.
     far_pairs = sorted(factors.coupling)
     far_tasks = [_coupling_task(factors, i, j, q) for (i, j) in far_pairs]
-    _mark_atomics(list(zip(far_tasks, (i for (i, _j) in far_pairs))))
+    _mark_atomics(list(zip(far_tasks, (i for (i, _j) in far_pairs),
+                           strict=True)))
     if far_tasks:
         phases.append(Phase("coupling", "parallel_for",
                             [[t] for t in far_tasks], atomic_per_task=True))

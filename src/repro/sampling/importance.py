@@ -33,10 +33,9 @@ def importance_sample(
         require(len(w) == len(candidates), "weights must match candidates")
         require((w >= 0).all(), "weights must be non-negative")
         total = w.sum()
-        if total <= 0:
-            chosen = rng.choice(len(candidates), size=size, replace=False)
-        else:
-            chosen = rng.choice(
-                len(candidates), size=size, replace=False, p=w / total
-            )
+        chosen = (
+            rng.choice(len(candidates), size=size, replace=False)
+            if total <= 0 else
+            rng.choice(len(candidates), size=size, replace=False,
+                       p=w / total))
     return np.sort(candidates[chosen])

@@ -126,10 +126,8 @@ def build_sampling_plan(
             pool = np.flatnonzero(~in_node)
             in_node[own] = False
             in_node[picked] = False
-            if len(pool) > needed:
-                extra = rng.choice(pool, size=needed, replace=False)
-            else:
-                extra = pool
+            extra = (rng.choice(pool, size=needed, replace=False)
+                     if len(pool) > needed else pool)
             picked = np.concatenate([picked, extra])
         samples[v] = np.unique(picked.astype(np.intp))
 

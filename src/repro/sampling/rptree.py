@@ -104,6 +104,6 @@ def rptree_knn(
 def knn_recall(approx: np.ndarray, exact: np.ndarray) -> float:
     """Fraction of true neighbours recovered — the rp-tree quality metric."""
     hits = 0
-    for a, e in zip(approx, exact):
+    for a, e in zip(approx, exact, strict=True):
         hits += len(np.intersect1d(a, e))
     return hits / exact.size

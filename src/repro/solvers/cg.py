@@ -9,7 +9,7 @@ replaces the hand-rolled ``apply_A`` closures solvers used to build.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

@@ -8,7 +8,7 @@ and ``n`` may be omitted for operators that carry their ``shape``.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

@@ -82,13 +82,10 @@ class KernelRidgeRegression:
         if y.shape[0] != len(X):
             raise ValueError(f"y has {y.shape[0]} rows, X has {len(X)}")
         self.X_ = X
-        if self.session is not None:
-            K = self.session.operator(X, kernel=self.kernel, plan=self.plan,
-                                      policy=self.policy).materialize()
-        else:
-            K = KernelOperator.from_points(
-                X, kernel=self.kernel, plan=self.plan, policy=self.policy
-            ).materialize()
+        make = (self.session.operator if self.session is not None
+                else KernelOperator.from_points)
+        K = make(X, kernel=self.kernel, plan=self.plan,
+                 policy=self.policy).materialize()
         self.hmatrix = K.hmatrix
         self.operator_ = K.shifted(self.lam)
 

@@ -32,6 +32,7 @@ different host signature, or different pinned knobs.
 
 from __future__ import annotations
 
+import contextlib
 import importlib
 import threading
 import time
@@ -123,10 +124,8 @@ def autotune_backends() -> tuple[AutotuneBackend, ...]:
     """Every registered backend, registration-ordered (after autoload)."""
     for name, module in _BACKEND_AUTOLOAD.items():
         if name not in _BACKEND_REGISTRY:
-            try:
+            with contextlib.suppress(ImportError):  # optional module
                 importlib.import_module(module)
-            except ImportError:  # pragma: no cover - optional module
-                pass
     return tuple(_BACKEND_REGISTRY.values())
 
 
@@ -306,11 +305,10 @@ class Autotuner:
                 self._fingerprints[key] = fp
                 while len(self._fingerprints) > 64:
                     self._fingerprints.pop(next(iter(self._fingerprints)))
-            try:
+            # HMatrix is weakref-able, so TypeError never fires today.
+            with contextlib.suppress(TypeError):  # pragma: no cover
                 weakref.finalize(H, _fingerprint_drop, weakref.ref(self),
                                  key)
-            except TypeError:  # pragma: no cover - HMatrix is weakref-able
-                pass
         return fp
 
     # ----------------------------------------------------------- candidates
@@ -518,9 +516,7 @@ def reset_default_autotuner() -> None:
 def resolve_auto(H, W, policy: ExecutionPolicy | None = None,
                  tuner: Autotuner | None = None) -> ExecutionPolicy:
     """Resolve ``order="auto"`` against a W panel (or integer width)."""
-    if np.isscalar(W):
-        q = int(W)
-    else:
-        q = W.shape[1] if getattr(W, "ndim", 1) == 2 else 1
+    q = (int(W) if np.isscalar(W)
+         else W.shape[1] if getattr(W, "ndim", 1) == 2 else 1)
     tuner = tuner if tuner is not None else default_autotuner()
     return tuner.resolve(H, q, policy)

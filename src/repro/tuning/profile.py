@@ -160,6 +160,8 @@ class TuningProfile:
     margin: float = 1.0
     trials: int = 0
     version: int = PROFILE_FORMAT_VERSION
+    # analysis: waive R004 -- profile age bookkeeping: performance
+    # metadata, never a correctness input, and excluded from the key
     created: float = field(default_factory=time.time)
 
     @property

@@ -1,0 +1,10 @@
+"""Deliberately-bad fixture: fires R001 exactly once.
+
+A policy resolved by truthiness — the bug class coalesce_policy exists
+to prevent. Excluded from ruff (see ruff.toml): this file exists to be
+wrong.
+"""
+
+
+def resolve(policy, fallback):
+    return policy or fallback

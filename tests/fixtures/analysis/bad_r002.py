@@ -1,0 +1,19 @@
+"""Deliberately-bad fixture: fires R002 exactly once.
+
+One write to a ``# guarded-by:`` attribute outside its lock. The
+``__init__`` assignment and the locked increment must NOT fire.
+"""
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # guarded-by: self._lock
+
+    def locked_increment(self):
+        with self._lock:
+            self._count += 1
+
+    def racy_increment(self):
+        self._count += 1

@@ -1,0 +1,18 @@
+"""Deliberately-bad fixture: fires R003 exactly once.
+
+The filename contains ``store`` so the file is on an R003-scoped path;
+the handler swallows PlanStoreError, violating the fail-closed
+contract.
+"""
+
+
+class PlanStoreError(Exception):
+    pass
+
+
+def load_quietly(path):
+    try:
+        return path.read_bytes()
+    except PlanStoreError:
+        pass
+    return None

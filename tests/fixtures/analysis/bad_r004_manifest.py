@@ -1,0 +1,10 @@
+"""Deliberately-bad fixture: fires R004 exactly once.
+
+The filename contains ``manifest`` so the file is on an R004-scoped
+path; ``time.time()`` makes the document depend on when it was built.
+"""
+import time
+
+
+def build_manifest(stats):
+    return {"stats": stats, "created": time.time()}

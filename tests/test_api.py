@@ -280,9 +280,9 @@ class TestSession:
             points_fingerprint(points_2d + 1e-9)
 
     def test_rejects_non_plan(self, points_2d):
-        with Session() as session:
-            with pytest.raises(TypeError, match="PlanConfig"):
-                session.operator(points_2d, plan={"leaf_size": 32})
+        with Session() as session, \
+                pytest.raises(TypeError, match="PlanConfig"):
+            session.operator(points_2d, plan={"leaf_size": 32})
 
 
 class TestShimEquivalence:

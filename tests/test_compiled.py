@@ -89,7 +89,7 @@ class TestEquivalenceMatrix:
         panels = [g.random((H.dim, q)).astype(dtype) for q in (1, 4, 2)]
         Yb = matmul_many(H, panels, order="batched")
         Yc = matmul_many(H, panels, order="compiled")
-        for yb, yc in zip(Yb, Yc):
+        for yb, yc in zip(Yb, Yc, strict=True):
             assert _bytes(yc) == _bytes(yb)
 
     @pytest.mark.parametrize("dtype", [np.float32, np.float64])
@@ -125,7 +125,8 @@ class TestEquivalenceMatrix:
                 assert svc.stats()["max_batch_observed"] == len(panels)
             return out
 
-        for yb, yc in zip(serve("batched"), serve("compiled")):
+        for yb, yc in zip(serve("batched"), serve("compiled"),
+                          strict=True):
             assert _bytes(yc) == _bytes(yb)
 
     def test_delegation_threshold(self, hmatrix_2d):

@@ -86,7 +86,7 @@ class TestMatmulMany:
         panels = [rng.random((hmatrix_2d.dim, q)) for q in (1, 5, 70)]
         outs = matmul_many(hmatrix_2d, panels, q_chunk=32)
         assert isinstance(outs, list) and len(outs) == 3
-        for w, y in zip(panels, outs):
+        for w, y in zip(panels, outs, strict=True):
             assert relative_error(y, hmatrix_2d.matmul(w)) < 1e-12
 
 

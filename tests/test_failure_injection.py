@@ -205,9 +205,9 @@ class TestChaosWorkerCrash:
             ref = H.matmul(W, order="batched")  # serial ground truth
             np.testing.assert_array_equal(session.matmul(H, W), ref)
 
-            with inject_faults(FaultPlan(kill_worker=(phase, 0))) as fp:
-                with pytest.raises(WorkerCrashError):
-                    session.matmul(H, W)
+            with inject_faults(FaultPlan(kill_worker=(phase, 0))) as fp, \
+                    pytest.raises(WorkerCrashError):
+                session.matmul(H, W)
             assert fp.fired == [f"kill_worker:{phase}:0"]
 
             # Recovery: the dead engine is rebuilt once, then serves a
@@ -228,10 +228,10 @@ class TestChaosWorkerCrash:
             FaultPlan(kill_worker=("warmup", 0))
 
     def test_overlapping_plans_rejected(self):
-        with inject_faults(FaultPlan()):
-            with pytest.raises(RuntimeError, match="already installed"):
-                with inject_faults(FaultPlan()):
-                    pass  # pragma: no cover
+        with inject_faults(FaultPlan()), \
+                pytest.raises(RuntimeError, match="already installed"), \
+                inject_faults(FaultPlan()):
+            pass  # pragma: no cover
 
 
 class TestChaosStoreCorruption:
@@ -305,9 +305,9 @@ class TestChaosStoreCorruption:
         d = self._compiled_store(tmp_path, points_2d, gaussian_kernel)
         store = PlanStore(d)
         with Session(plan=CHAOS_PLAN, store=store) as session:
-            with inject_faults(FaultPlan(corrupt_tier="hmatrix")) as fp:
-                with pytest.raises(PlanStoreError):
-                    session.inspect(points_2d, kernel=gaussian_kernel)
+            with inject_faults(FaultPlan(corrupt_tier="hmatrix")) as fp, \
+                    pytest.raises(PlanStoreError):
+                session.inspect(points_2d, kernel=gaussian_kernel)
             assert fp.fired == ["corrupt:hmatrix"]
             assert store.stats.quarantined == 1
             # Plan exhausted: the retry reads healthy bytes and rebuilds.

@@ -140,9 +140,9 @@ class TestIntegrity:
                                            gaussian_kernel, mode):
         _tamper(store_dir, "hmatrix", mode)
         store = PlanStore(store_dir)
-        with Session(plan=PLAN, store=store) as session:
-            with pytest.raises(PlanStoreError):
-                session.inspect(points_2d, kernel=gaussian_kernel)
+        with Session(plan=PLAN, store=store) as session, \
+                pytest.raises(PlanStoreError):
+            session.inspect(points_2d, kernel=gaussian_kernel)
         assert store.stats.integrity_failures >= 1
 
     def test_tampered_p1_fails_closed(self, store_dir, points_2d,
@@ -153,9 +153,9 @@ class TestIntegrity:
             if json.loads(m.read_text())["tier"] == "hmatrix":
                 m.unlink()
         _tamper(store_dir, "p1", "flip")
-        with Session(plan=PLAN, store=PlanStore(store_dir)) as session:
-            with pytest.raises(PlanStoreError):
-                session.inspect(points_2d, kernel=gaussian_kernel)
+        with Session(plan=PLAN, store=PlanStore(store_dir)) as session, \
+                pytest.raises(PlanStoreError):
+            session.inspect(points_2d, kernel=gaussian_kernel)
 
     def test_corrupt_manifest_fails_closed(self, store_dir):
         for m in store_dir.glob("*.json"):

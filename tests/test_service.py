@@ -43,7 +43,7 @@ class TestCorrectness:
             results = [f.result(30) for f in futures]
             stats = svc.stats()
         assert stats["max_batch_observed"] >= 2  # batching actually happened
-        for W, Y in zip(panels, results):
+        for W, Y in zip(panels, results, strict=True):
             np.testing.assert_allclose(Y, hmatrix_2d.matmul(W), atol=1e-12)
 
     def test_mixed_endpoints_not_cross_batched(self, points_2d, points_hd,
@@ -150,7 +150,7 @@ class TestValidationAndLifecycle:
                       for i in range(6)]
             futs = [svc.submit("grid", W) for W in panels]
             assert svc.drain(timeout=60) is True
-            for W, f in zip(panels, futs):
+            for W, f in zip(panels, futs, strict=True):
                 Y = f.result(timeout=1)  # already done, no ServiceClosed
                 np.testing.assert_allclose(Y, hmatrix_2d.matmul(W),
                                            atol=1e-12)

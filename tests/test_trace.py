@@ -53,14 +53,14 @@ class TestAddressMaps:
         _res, cds, _tb = packed
         amap = cds_address_map(cds)
         spans = sorted(amap.values())
-        for (b1, n1), (b2, _n2) in zip(spans, spans[1:]):
+        for (b1, n1), (b2, _n2) in zip(spans, spans[1:], strict=False):
             assert b1 + n1 <= b2
 
     def test_tb_addresses_disjoint(self, packed):
         _res, _cds, tb = packed
         amap = treebased_address_map(tb, shuffle=True, seed=0)
         spans = sorted(amap.values())
-        for (b1, n1), (b2, _n2) in zip(spans, spans[1:]):
+        for (b1, n1), (b2, _n2) in zip(spans, spans[1:], strict=False):
             assert b1 + n1 <= b2
 
     def test_tb_shuffle_changes_layout(self, packed):
