@@ -223,6 +223,41 @@ def check_file(path: Path) -> list[str]:
                 problems.append(
                     f"{path.name}: {races['violations']} race violation(s) "
                     f"in replayed engine traces (gate: zero)")
+        # The concurrency certifier (DESIGN.md §14): the lock-acquisition
+        # graph must be acyclic, the happens-before replay must certify
+        # at least one recorded sync trace violation-free, and the
+        # schedule explorer must have exercised real interleaving
+        # diversity without a single failing schedule.
+        lock_order = payload.get("lock_order")
+        if lock_order is not None:
+            if lock_order.get("unwaived_cycles", 0) != 0:
+                problems.append(
+                    f"{path.name}: {lock_order['unwaived_cycles']} unwaived "
+                    f"lock-order cycle(s) (gate: the graph is acyclic)")
+            if not lock_order.get("locks"):
+                problems.append(
+                    f"{path.name}: lock-order analysis resolved no locks "
+                    f"(gate: the analysis must actually analyze)")
+        sync = payload.get("sync")
+        if sync is not None:
+            if sync.get("traces", 0) < 1:
+                problems.append(
+                    f"{path.name}: happens-before replay certified no sync "
+                    f"traces (gate: the replay must actually replay)")
+            if sync.get("violations", 0) != 0:
+                problems.append(
+                    f"{path.name}: {sync['violations']} happens-before "
+                    f"violation(s) in replayed sync traces (gate: zero)")
+        schedules = payload.get("schedules")
+        if schedules is not None:
+            if schedules.get("inequivalent", 0) < 20:
+                problems.append(
+                    f"{path.name}: only {schedules.get('inequivalent', 0)} "
+                    f"inequivalent schedule(s) explored (gate: >= 20)")
+            if schedules.get("failures", 0) != 0:
+                problems.append(
+                    f"{path.name}: {schedules['failures']} failed "
+                    f"schedule(s) under exploration (gate: zero)")
     # The serve-smoke run manifest must conform to the checked-in JSON
     # schema — an observability artifact nobody can parse is no
     # observability at all — and must prove the run actually served.

@@ -9,10 +9,14 @@ and the CDS data layout.
 The *correctness analysis* side (DESIGN.md §13) proves invariants the
 tests can only sample: project-aware AST lint rules (:mod:`.lint`), the
 shared-memory race certifier over ProcessEngine traces (:mod:`.races`),
-and the emitted-kernel write-set verifier that gates compiled artifacts
-before execution (:mod:`.codegen_check`). All three are wired into the
-``repro analyze`` CLI verb; their outcome counters (:mod:`.counters`)
-surface in ``repro stats`` and the run manifest.
+the emitted-kernel write-set verifier that gates compiled artifacts
+before execution (:mod:`.codegen_check`), and the thread-tier
+concurrency certifier (DESIGN.md §14): static lock-order analysis
+(:mod:`.lockorder`), the vector-clock happens-before checker over
+recorded sync traces (:mod:`.happens_before`), and the DPOR-lite
+schedule explorer (:mod:`.explore`). All are wired into the ``repro
+analyze`` CLI verb; their outcome counters (:mod:`.counters`) surface in
+``repro stats`` and the run manifest.
 """
 
 from repro.analysis.binpack import first_fit_binpack
@@ -24,10 +28,29 @@ from repro.analysis.codegen_check import (
     verify_artifact_file,
 )
 from repro.analysis.cost_model import node_cost, subtree_cost
+from repro.analysis.explore import (
+    ScenarioSuite,
+    ScheduleExplorer,
+    ScheduleReport,
+    explore_default_scenarios,
+    schedule_footprint,
+)
+from repro.analysis.happens_before import (
+    HBViolation,
+    certify_sync_trace,
+    certify_sync_trace_dir,
+    certify_sync_trace_file,
+    seed_unordered_pair,
+)
 from repro.analysis.counters import (
     analysis_counters,
     bump_analysis_counter,
     reset_analysis_counters,
+)
+from repro.analysis.lockorder import (
+    LOCK_RULES,
+    LockOrderReport,
+    analyze_lock_order,
 )
 from repro.analysis.lint import (
     RULES,
@@ -61,20 +84,33 @@ __all__ = [
     # correctness analysis (DESIGN.md §13)
     "AnalysisError",
     "Finding",
+    "HBViolation",
+    "LOCK_RULES",
+    "LockOrderReport",
     "RULES",
     "RaceViolation",
+    "ScenarioSuite",
+    "ScheduleExplorer",
+    "ScheduleReport",
     "analysis_counters",
+    "analyze_lock_order",
     "bump_analysis_counter",
+    "certify_sync_trace",
+    "certify_sync_trace_dir",
+    "certify_sync_trace_file",
     "certify_trace",
     "certify_trace_dir",
     "certify_trace_file",
+    "explore_default_scenarios",
     "findings_to_doc",
     "lint_paths",
     "lint_source",
     "load_trace",
     "reset_analysis_counters",
     "save_trace",
+    "schedule_footprint",
     "seed_overlap_violation",
+    "seed_unordered_pair",
     "trace_from_plans",
     "verify_artifact",
     "verify_artifact_file",

@@ -27,6 +27,12 @@ _NAMES = (
     "races_certified",     # engine traces certified race-free
     "races_flagged",       # engine traces with unordered conflicting writes
     "lint_findings",       # unwaived lint findings reported by `repro analyze`
+    "lockorder_certified",   # lock-order graphs certified acyclic
+    "lockorder_cycles",      # lock-order cycles found (deadlock potential)
+    "sync_certified",        # sync traces certified free of HB violations
+    "sync_flagged",          # sync traces with unordered conflicting accesses
+    "schedules_explored",    # inequivalent thread schedules explored
+    "schedule_failures",     # explored schedules that failed or deadlocked
 )
 
 _lock = threading.Lock()

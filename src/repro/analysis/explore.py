@@ -1,0 +1,410 @@
+"""DPOR-lite schedule exploration: perturb thread interleavings at the
+recorded sync points (DESIGN.md §14).
+
+The happens-before checker (:mod:`.happens_before`) certifies the
+interleavings the test suite *happened* to produce; this module widens
+that sample. A :class:`ScheduleExplorer` re-runs a small concurrent
+scenario many times, and on each run installs a fresh
+:class:`~repro.observability.sync.SyncTracer` whose
+:attr:`~repro.observability.sync.SyncTracer.schedule_hook` injects a
+**deterministic** per-run delay right before every traced blocking
+operation (lock acquire, queue put). Different runs perturb different
+sync points, so threads reach the contended primitives in different
+orders — the cheap, sound half of dynamic partial-order reduction:
+instead of computing backtracking sets we derive schedule *diversity*
+from seeded perturbation and prune equivalent runs after the fact.
+
+Two runs are **equivalent** when they produced the same Mazurkiewicz-
+style footprint: the sequence of (lock name, canonical thread) acquire
+events. Threads are canonicalised by order of first appearance in the
+trace, so OS-assigned names/idents never make two identical schedules
+look distinct. The explorer reports how many *inequivalent* schedules it
+actually exercised — the number CI gates on — rather than how many times
+it looped.
+
+Failure detection is end-to-end: each run executes the scenario on a
+watchdogged thread. A scenario that raises, returns a wrong result
+(scenarios assert their own invariants), or fails to finish inside the
+timeout (deadlock/livelock) records one ``schedule_failures`` counter
+bump; a clean run records ``schedules_explored``.
+
+Determinism: delays are derived from ``zlib.crc32`` over
+``(run, point, thread, occurrence)`` — never from Python's salted
+``hash()`` — so a failing run index can be replayed exactly.
+
+The built-in :class:`ScenarioSuite` covers the thread-tier scenarios
+named in DESIGN.md §14: dispatcher drain under load, dispatcher crash
+containment, and concurrent PlanStore eviction.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import threading
+import time
+import zlib
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.analysis.counters import bump_analysis_counter
+from repro.observability.sync import (
+    SyncTracer,
+    install_sync_tracer,
+    uninstall_sync_tracer,
+)
+
+__all__ = ["ScheduleExplorer", "ScheduleReport", "ScenarioSuite",
+           "explore_default_scenarios", "schedule_footprint"]
+
+#: Delay quantum for perturbation (seconds). Injected delays are
+#: 0..7 quanta — long enough to reorder a queue handoff, short enough
+#: that a full exploration stays interactive.
+PERTURB_QUANTUM = 0.0005
+
+
+def schedule_footprint(doc: dict) -> tuple:
+    """The run's Mazurkiewicz-style footprint from its trace document.
+
+    A tuple of ``(lock name, canonical thread)`` pairs, one per acquire
+    event, in global sequence order. Thread idents are canonicalised to
+    ``T0, T1, ...`` by first appearance in the event stream.
+    """
+    canon: dict[Any, str] = {}
+    out = []
+    for ev in sorted(doc.get("events", []), key=lambda e: e["seq"]):
+        tid = ev["thread"]
+        if tid not in canon:
+            canon[tid] = f"T{len(canon)}"
+        if ev["op"] == "acquire":
+            out.append((ev.get("name", "?"), canon[tid]))
+    return tuple(out)
+
+
+@dataclass
+class ScheduleReport:
+    """Outcome of one exploration: runs, dedup, failures."""
+
+    scenario: str
+    runs: int = 0
+    #: Distinct footprints seen (the DPOR-lite equivalence classes).
+    inequivalent: int = 0
+    #: ``(run index, message)`` for every failed/deadlocked run.
+    failures: list[tuple[int, str]] = field(default_factory=list)
+    footprints: set = field(default_factory=set, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_doc(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "runs": self.runs,
+            "inequivalent": self.inequivalent,
+            "failures": [{"run": k, "error": msg}
+                         for k, msg in self.failures],
+        }
+
+
+class ScheduleExplorer:
+    """Re-run one scenario under deterministic schedule perturbation.
+
+    ``scenario`` is a zero-argument callable that builds its own threads,
+    asserts its own invariants and raises on violation. It runs with a
+    process-global tracer installed, so every ``make_lock``-built
+    primitive it (or the production code it drives) constructs is traced
+    and perturbed.
+    """
+
+    def __init__(self, scenario: Callable[[], None], *,
+                 name: str | None = None, runs: int = 24,
+                 timeout: float = 120.0):
+        if runs < 1:
+            raise ValueError(f"runs must be >= 1, got {runs}")
+        self.scenario = scenario
+        self.name = name or getattr(scenario, "__name__", "scenario")
+        self.runs = int(runs)
+        self.timeout = float(timeout)
+
+    def _perturber(self, run: int) -> Callable[[str, str], None]:
+        counts: dict[tuple[str, str], int] = {}
+        lock = threading.Lock()
+
+        def hook(point: str, thread: str) -> None:
+            with lock:
+                key = (point, thread)
+                n = counts[key] = counts.get(key, 0) + 1
+            h = zlib.crc32(f"{run}:{point}:{thread}:{n}".encode())
+            delay = (h & 7) * PERTURB_QUANTUM
+            if delay:
+                time.sleep(delay)
+
+        return hook
+
+    def _one_run(self, run: int) -> tuple[tuple, str | None]:
+        tracer = SyncTracer(f"{self.name}.run{run}")
+        tracer.schedule_hook = self._perturber(run)
+        install_sync_tracer(tracer)
+        err: str | None = None
+        try:
+            box: dict[str, BaseException] = {}
+            done = threading.Event()
+
+            def body() -> None:
+                try:
+                    self.scenario()
+                except BaseException as exc:  # noqa: BLE001 - reported
+                    box["exc"] = exc
+                finally:
+                    done.set()
+
+            worker = threading.Thread(
+                target=body, name=f"explore-{self.name}-{run}", daemon=True)
+            worker.start()
+            if not done.wait(self.timeout):
+                err = (f"run {run} did not finish within {self.timeout:g}s "
+                       f"(possible deadlock)")
+            elif "exc" in box:
+                exc = box["exc"]
+                err = f"run {run} failed: {type(exc).__name__}: {exc}"
+        finally:
+            # Traced primitives outliving the tracer degrade to plain
+            # threading ops, so a timed-out run cannot corrupt later ones.
+            uninstall_sync_tracer()
+        return schedule_footprint(tracer.to_doc()), err
+
+    def explore(self) -> ScheduleReport:
+        """Run every perturbation; dedupe; bump the analysis counters."""
+        report = ScheduleReport(scenario=self.name)
+        for run in range(self.runs):
+            footprint, err = self._one_run(run)
+            report.runs += 1
+            if err is not None:
+                report.failures.append((run, err))
+                bump_analysis_counter("schedule_failures")
+                continue
+            if footprint not in report.footprints:
+                report.footprints.add(footprint)
+                bump_analysis_counter("schedules_explored")
+        report.inequivalent = len(report.footprints)
+        return report
+
+
+# --------------------------------------------------------------------------
+# Built-in scenarios (DESIGN.md §14): the thread-tier serving paths.
+# --------------------------------------------------------------------------
+
+class ScenarioSuite:
+    """The stock schedule-exploration scenarios over a tiny workload.
+
+    One suite owns a scratch directory: a shared plan-store root so that
+    every run after the first warm-starts its plans (the explorer is
+    about *schedules*, not inspector latency), plus per-run store roots
+    for the eviction scenario. Call :meth:`cleanup` (or use as a context
+    manager) when done.
+    """
+
+    def __init__(self, root: str | Path | None = None, *,
+                 n_points: int = 96):
+        self._owns_root = root is None
+        self.root = Path(root) if root is not None else Path(
+            tempfile.mkdtemp(prefix="matrox-explore-"))
+        self.root.mkdir(parents=True, exist_ok=True)
+        rng = np.random.default_rng(7)
+        self._points = rng.random((int(n_points), 2))
+        self._panels = [rng.random((int(n_points), 3)) for _ in range(6)]
+        from repro.api.plan import PlanConfig
+
+        self._plan = PlanConfig(leaf_size=32, bacc=1e-6, p=4, seed=0)
+        self._store_root = self.root / "plans"
+
+    # ------------------------------------------------------------- plumbing
+    def __enter__(self) -> ScenarioSuite:
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.cleanup()
+
+    def cleanup(self) -> None:
+        if self._owns_root:
+            shutil.rmtree(self.root, ignore_errors=True)
+
+    def scenarios(self) -> dict[str, Callable[[], None]]:
+        """Name -> scenario callable, exploration-ready."""
+        return {
+            "dispatcher_drain": self.dispatcher_drain,
+            "dispatcher_crash": self.dispatcher_crash,
+            "store_eviction": self.store_eviction,
+        }
+
+    def _service(self, **kwargs):
+        from repro.api.service import KernelService
+
+        svc = KernelService(plan=self._plan, store=self._store_root,
+                            **kwargs)
+        svc.register("grid", self._points, warm=True)
+        return svc
+
+    # ------------------------------------------------------------ scenarios
+    def dispatcher_drain(self) -> None:
+        """Concurrent submitters racing a drain: every accepted Future
+        must complete with a well-formed result and drain must report
+        completion."""
+        svc = self._service(max_batch=4, max_wait_ms=1.0)
+        try:
+            results: list[np.ndarray] = []
+            errors: list[BaseException] = []
+            res_lock = threading.Lock()
+
+            def client(i: int) -> None:
+                try:
+                    y = svc.request("grid", self._panels[i], timeout=60)
+                    with res_lock:
+                        results.append(y)
+                except BaseException as exc:  # noqa: BLE001 - asserted below
+                    with res_lock:
+                        errors.append(exc)
+
+            clients = [threading.Thread(target=client, args=(i,),
+                                        name=f"drain-client-{i}")
+                       for i in range(4)]
+            for t in clients:
+                t.start()
+            for t in clients:
+                t.join(60)
+            if not svc.drain(timeout=60):
+                raise AssertionError("drain timed out with clients done")
+            if errors:
+                raise AssertionError(f"client failed: {errors[0]!r}")
+            if len(results) != 4:
+                raise AssertionError(f"expected 4 results, got "
+                                     f"{len(results)}")
+            n = len(self._points)
+            for y in results:
+                if y.shape != (n, 3) or not np.all(np.isfinite(y)):
+                    raise AssertionError("malformed result from service")
+        finally:
+            svc.close()
+
+    def dispatcher_crash(self) -> None:
+        """A dispatcher-machinery fault must fail *closed*: the pending
+        Future completes exceptionally (never hangs) and later submits
+        are refused — under every interleaving."""
+        from repro.api.service import ServiceClosed
+
+        # The dispatcher deliberately dies raising; keep its (expected)
+        # traceback out of the exploration output.
+        orig_hook = threading.excepthook
+
+        def quiet(hook_args) -> None:
+            if (isinstance(hook_args.exc_value, RuntimeError)
+                    and "injected dispatch fault"
+                    in str(hook_args.exc_value)):
+                return
+            orig_hook(hook_args)
+
+        threading.excepthook = quiet
+        svc = self._service(max_batch=2, max_wait_ms=0.0)
+        try:
+            orig = svc._take_batch
+            state = {"calls": 0}
+
+            def faulty():
+                state["calls"] += 1
+                if state["calls"] == 1:
+                    raise RuntimeError("injected dispatch fault")
+                return orig()
+
+            svc._take_batch = faulty
+            fut = svc.submit("grid", self._panels[0])
+            try:
+                fut.result(timeout=60)
+            except ServiceClosed:
+                pass  # the contract: chained, typed, prompt
+            except BaseException as exc:  # noqa: BLE001 - asserted
+                raise AssertionError(
+                    f"crash surfaced as {type(exc).__name__}, expected "
+                    f"ServiceClosed") from exc
+            else:
+                raise AssertionError("future resolved after dispatcher "
+                                     "crash")
+            try:
+                svc.submit("grid", self._panels[1])
+            except ServiceClosed:
+                pass
+            else:
+                raise AssertionError("submit accepted after crash")
+            if svc.stats().get("dispatcher_crashes") != 1:
+                raise AssertionError("crash not counted exactly once")
+        finally:
+            svc.close()
+            threading.excepthook = orig_hook
+
+    def store_eviction(self) -> None:
+        """Concurrent writers against a byte-capped PlanStore: every put
+        succeeds, eviction keeps running, and the store stays readable
+        throughout."""
+        from repro.api.store import PlanStore
+        from repro.tuning.profile import TuningProfile
+
+        root = Path(tempfile.mkdtemp(prefix="evict-", dir=self.root))
+        try:
+            store = PlanStore(root, max_bytes=2048, memory_profile=2)
+            errors: list[BaseException] = []
+
+            def writer(t: int) -> None:
+                try:
+                    for i in range(6):
+                        prof = TuningProfile(
+                            hmatrix_fp=f"fp-{t}-{i}", width_bucket=1,
+                            host={"writer": t}, policy={"order": "batched"},
+                            source="prior")
+                        key = ("explore", t, i)
+                        store.put("profile", key, prof)
+                        got = store.get("profile", key)
+                        # An immediate re-read may miss (already evicted
+                        # under pressure) but must never be wrong. The
+                        # memory front serves the prepared wire dict.
+                        fp = (got.get("hmatrix_fp")
+                              if isinstance(got, dict)
+                              else getattr(got, "hmatrix_fp", None))
+                        if got is not None and fp != prof.hmatrix_fp:
+                            raise AssertionError(
+                                "store returned wrong profile")
+                except BaseException as exc:  # noqa: BLE001 - re-raised
+                    errors.append(exc)
+
+            writers = [threading.Thread(target=writer, args=(t,),
+                                        name=f"evict-writer-{t}")
+                       for t in range(3)]
+            for t in writers:
+                t.start()
+            for t in writers:
+                t.join(60)
+            if errors:
+                raise AssertionError(
+                    f"writer failed: {errors[0]!r}") from errors[0]
+            if store.stats.puts != 18:
+                raise AssertionError(
+                    f"expected 18 puts, got {store.stats.puts}")
+            if store.stats.evictions < 1:
+                raise AssertionError("byte cap never triggered eviction")
+            store.cache_info()  # must stay coherent under the cap
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+def explore_default_scenarios(*, runs: int = 24, root: str | Path | None
+                              = None) -> dict[str, ScheduleReport]:
+    """Explore every stock scenario; name -> report (CLI entry point)."""
+    out: dict[str, ScheduleReport] = {}
+    with ScenarioSuite(root) as suite:
+        for name, scenario in suite.scenarios().items():
+            explorer = ScheduleExplorer(scenario, name=name, runs=runs)
+            out[name] = explorer.explore()
+    return out

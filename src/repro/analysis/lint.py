@@ -88,8 +88,10 @@ _WALLCLOCK_REFS = frozenset({
 _RNG_PREFIXES = ("random.", "np.random.", "numpy.random.")
 _DEFAULT_RNG = ("np.random.default_rng", "numpy.random.default_rng")
 
+# Rule ids span the lint family (R...) and the concurrency family
+# (C..., repro.analysis.lockorder); one waiver convention covers both.
 _WAIVER_RE = re.compile(
-    r"#\s*analysis:\s*waive\s+(?P<rules>R\d{3}(?:[,\s]+R\d{3})*)"
+    r"#\s*analysis:\s*waive\s+(?P<rules>[RC]\d{3}(?:[,\s]+[RC]\d{3})*)"
     r"\s*(?:--\s*(?P<reason>.*))?")
 
 _GUARDED_BY_RE = re.compile(
@@ -138,7 +140,7 @@ def _parse_waivers(source: str) -> dict[int, dict[str, str]]:
         m = _WAIVER_RE.search(tok.string)
         if m is None:
             continue
-        rules = re.findall(r"R\d{3}", m.group("rules"))
+        rules = re.findall(r"[RC]\d{3}", m.group("rules"))
         reason = (m.group("reason") or "").strip()
         target = tok.start[0]
         if lines[target - 1].lstrip().startswith("#"):

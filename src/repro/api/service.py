@@ -33,12 +33,17 @@ from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.api.plan import PlanConfig
 from repro.api.policy import ExecutionPolicy
 from repro.api.session import Session
+from repro.observability.sync import make_condition, make_lock
+
+if TYPE_CHECKING:  # annotation-only: the session owns the store import
+    from repro.api.store import PlanStore
 
 __all__ = ["KernelService", "ServiceClosed"]
 
@@ -51,8 +56,8 @@ class ServiceClosed(RuntimeError):
 class _Endpoint:
     """A registered tenant: the immutable inputs of one compiled plan."""
 
-    points: np.ndarray
-    kernel: object
+    points: np.ndarray[Any, np.dtype[Any]]
+    kernel: Any
     plan: PlanConfig
     n: int
 
@@ -68,10 +73,10 @@ class _Pending:
 
     points_id: str
     endpoint: _Endpoint
-    W: np.ndarray
+    W: np.ndarray[Any, np.dtype[Any]]
     cols: int
     squeeze: bool
-    future: Future
+    future: Future[Any]
     t_submit: float
 
 
@@ -109,7 +114,8 @@ class KernelService:
     """
 
     def __init__(self, session: Session | None = None, *,
-                 store=None, plan: PlanConfig | None = None,
+                 store: PlanStore | str | Path | None = None,
+                 plan: PlanConfig | None = None,
                  policy: ExecutionPolicy | None = None,
                  num_threads: int | None = None,
                  max_batch: int = 8, max_wait_ms: float = 2.0,
@@ -146,14 +152,14 @@ class KernelService:
 
         self._endpoints: dict[str, _Endpoint] = {}
         self._queue: deque[_Pending] = deque()  # guarded-by: self._cv
-        self._cv = threading.Condition()
+        self._cv = make_condition("KernelService._cv")
         self._closed = False  # guarded-by: self._cv
         self._draining = False  # guarded-by: self._cv
         # requests taken off the queue, not yet resolved
         self._inflight = 0  # guarded-by: self._cv
         # register()/warm() run session.inspect on caller threads; the
         # dispatcher runs inspect+matmul. This lock serializes them.
-        self._session_lock = threading.Lock()
+        self._session_lock = make_lock("KernelService._session_lock")
 
         self._latencies: deque[float] = deque(maxlen=latency_window)
         self._batch_sizes: deque[int] = deque(maxlen=latency_window)
@@ -167,7 +173,8 @@ class KernelService:
         self._dispatcher.start()
 
     # ------------------------------------------------------------- endpoints
-    def register(self, points_id: str, points, kernel="gaussian",
+    def register(self, points_id: str, points: Any,
+                 kernel: Any = "gaussian",
                  plan: PlanConfig | None = None, bacc: float | None = None,
                  warm: bool = False) -> bool:
         """Bind ``points_id`` to a point set + kernel + plan.
@@ -217,7 +224,7 @@ class KernelService:
         return (ep.n, ep.n)
 
     # -------------------------------------------------------------- requests
-    def submit(self, points_id: str, W) -> Future:
+    def submit(self, points_id: str, W: Any) -> Future[Any]:
         """Enqueue ``Y = K[points_id] @ W``; returns a Future of Y.
 
         Safe from any thread. Shape errors raise immediately (here, not
@@ -251,7 +258,8 @@ class KernelService:
             self._cv.notify()
         return item.future
 
-    def request(self, points_id: str, W, timeout: float | None = None):
+    def request(self, points_id: str, W: Any,
+                timeout: float | None = None) -> Any:
         """Synchronous convenience: ``submit(...).result(timeout)``."""
         return self.submit(points_id, W).result(timeout)
 
@@ -372,7 +380,7 @@ class KernelService:
             p.future.set_result(y[:, 0] if p.squeeze else y)
 
     # --------------------------------------------------------------- metrics
-    def stats(self, include_autotune: bool = True) -> dict:
+    def stats(self, include_autotune: bool = True) -> dict[str, Any]:
         """Serving metrics: latency percentiles, batching, queue depth.
 
         ``include_autotune=False`` omits the nested tuner dict — the
@@ -382,7 +390,7 @@ class KernelService:
         with self._cv:
             lat = np.asarray(self._latencies, dtype=float)
             sizes = np.asarray(self._batch_sizes, dtype=float)
-            out = {
+            out: dict[str, Any] = {
                 "served": self._served,
                 "errors": self._errors,
                 "queue_depth": len(self._queue),
@@ -489,6 +497,6 @@ class KernelService:
     def __enter__(self) -> "KernelService":
         return self
 
-    def __exit__(self, *exc):
+    def __exit__(self, *exc: object) -> bool:
         self.close()
         return False

@@ -49,7 +49,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from collections.abc import Callable
-from typing import NoReturn
+from typing import Any, NoReturn
 
 from repro.core.io import (
     PlanStoreError,
@@ -61,6 +61,7 @@ from repro.core.io import (
     save_tuning_profile,
 )
 from repro.observability.faults import active_fault_plan
+from repro.observability.sync import make_rlock
 
 __all__ = [
     "ArtifactTier",
@@ -94,14 +95,14 @@ class ArtifactTier:
     """
 
     name: str
-    save: Callable
-    load: Callable
+    save: Callable[..., Any]
+    load: Callable[..., Any]
     version: int = 1
     default_memory_entries: int = 16
-    prepare: Callable | None = None
+    prepare: Callable[..., Any] | None = None
 
 
-def _prepare_profile(profile):
+def _prepare_profile(profile: Any) -> Any:
     return profile.to_dict() if hasattr(profile, "to_dict") else profile
 
 
@@ -173,8 +174,8 @@ class StoreStats:
     gc_removed: int = 0
     gc_reclaimed_bytes: int = 0
 
-    def as_dict(self) -> dict:
-        return dict(self.__dict__)
+    def as_dict(self) -> dict[str, int]:
+        return {k: int(v) for k, v in self.__dict__.items()}
 
 
 class _LRU:
@@ -184,27 +185,27 @@ class _LRU:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
-        self._data: OrderedDict = OrderedDict()
+        self._data: OrderedDict[str, tuple[str, Any]] = OrderedDict()
 
-    def get(self, key):
+    def get(self, key: str) -> tuple[str, Any] | None:
         if key not in self._data:
             return None
         self._data.move_to_end(key)
         return self._data[key]
 
-    def pop(self, key) -> None:
+    def pop(self, key: str) -> None:
         self._data.pop(key, None)
 
-    def put(self, key, value):
+    def put(self, key: str, value: tuple[str, Any]) -> None:
         self._data[key] = value
         self._data.move_to_end(key)
         while len(self._data) > self.maxsize:
             self._data.popitem(last=False)
 
-    def items(self):
+    def items(self) -> list[tuple[str, tuple[str, Any]]]:
         return list(self._data.items())
 
-    def clear(self):
+    def clear(self) -> None:
         self._data.clear()
 
     def __len__(self) -> int:
@@ -231,10 +232,11 @@ class PlanStore:
     (fail closed — a corrupt store never silently rebuilds or serves).
     """
 
-    def __init__(self, directory=None, *, max_bytes: int | None = None,
+    def __init__(self, directory: str | Path | None = None, *,
+                 max_bytes: int | None = None,
                  memory_p1: int = 8, memory_hmatrix: int = 16,
                  memory_profile: int = 32,
-                 memory_entries: dict | None = None):
+                 memory_entries: dict[str, int] | None = None):
         if max_bytes is not None and max_bytes < 1:
             raise ValueError(f"max_bytes must be >= 1 or None, got {max_bytes}")
         self.directory = Path(directory) if directory is not None else None
@@ -246,11 +248,12 @@ class PlanStore:
         # covers any registered tier. LRUs themselves are created lazily
         # (_mem_for), so tiers registered *after* this store was built
         # still get a memory front.
-        self._mem_capacity = {"p1": memory_p1, "hmatrix": memory_hmatrix,
+        self._mem_capacity: dict[str, int] = {
+            "p1": memory_p1, "hmatrix": memory_hmatrix,
                               "profile": memory_profile,
                               **(memory_entries or {})}
         self._mem: dict[str, _LRU] = {}
-        self._lock = threading.RLock()
+        self._lock = make_rlock("PlanStore._lock")
         self.stats = StoreStats()
 
     def _mem_for(self, tier: str) -> _LRU:
@@ -263,13 +266,14 @@ class PlanStore:
 
     # ------------------------------------------------------------ addressing
     @staticmethod
-    def digest(tier: str, key) -> str:
+    def digest(tier: str, key: Any) -> str:
         """Stable content address of a cache key within a tier."""
         _tier(tier)  # validates the tier name
         payload = repr((tier, repr(key)))
         return hashlib.sha256(payload.encode()).hexdigest()[:32]
 
     def _paths(self, digest: str) -> tuple[Path, Path]:
+        assert self.directory is not None  # callers check the disk tier
         return (self.directory / f"{digest}.npz",
                 self.directory / f"{digest}.json")
 
@@ -283,7 +287,8 @@ class PlanStore:
         are swept only after a very conservative hour — a slow concurrent
         writer must never have a live temp file deleted from under it.
         """
-        out = []
+        assert self.directory is not None  # callers check the disk tier
+        out: list[Path] = []
         # analysis: waive R004 -- orphan-sweep age cutoff: gc bookkeeping,
         # never part of a payload or key
         cutoff = time.time() - 3600.0
@@ -300,7 +305,7 @@ class PlanStore:
         """Manifests oldest-used first, tolerating a concurrent evictor:
         a manifest deleted between the glob and its stat() is simply an
         entry that no longer exists, not an error."""
-        stamped = []
+        stamped: list[tuple[float, str, Path]] = []
         for p in self._manifests():
             try:
                 stamped.append((p.stat().st_mtime, str(p), p))
@@ -316,7 +321,7 @@ class PlanStore:
                 path.unlink(missing_ok=True)
 
     # ------------------------------------------------------------ public API
-    def get(self, tier: str, key):
+    def get(self, tier: str, key: Any) -> Any:
         """Artifact stored under ``(tier, key)`` — ``None`` on a miss.
 
         The one get path for every registered :class:`ArtifactTier`
@@ -325,7 +330,7 @@ class PlanStore:
         """
         return self._get(tier, key)
 
-    def put(self, tier: str, key, value) -> str:
+    def put(self, tier: str, key: Any, value: Any) -> str:
         """Persist ``value`` under ``(tier, key)``; returns the digest.
 
         Applies the tier's ``prepare`` hook (wire-format coercion), then
@@ -339,32 +344,32 @@ class PlanStore:
     # Legacy per-tier helpers. Deprecated: use the generic
     # get(tier, key) / put(tier, key, value) registry API instead; these
     # remain as thin shims for callers written against the PR-4 surface.
-    def get_p1(self, key):
+    def get_p1(self, key: Any) -> Any:
         """Deprecated shim for ``get("p1", key)``."""
         return self.get("p1", key)
 
-    def put_p1(self, key, p1) -> str:
+    def put_p1(self, key: Any, p1: Any) -> str:
         """Deprecated shim for ``put("p1", key, p1)``."""
         return self.put("p1", key, p1)
 
-    def get_hmatrix(self, key):
+    def get_hmatrix(self, key: Any) -> Any:
         """Deprecated shim for ``get("hmatrix", key)``."""
         return self.get("hmatrix", key)
 
-    def put_hmatrix(self, key, H) -> str:
+    def put_hmatrix(self, key: Any, H: Any) -> str:
         """Deprecated shim for ``put("hmatrix", key, H)``."""
         return self.put("hmatrix", key, H)
 
-    def get_profile(self, key):
+    def get_profile(self, key: Any) -> Any:
         """Deprecated shim for ``get("profile", key)``."""
         return self.get("profile", key)
 
-    def put_profile(self, key, profile) -> str:
+    def put_profile(self, key: Any, profile: Any) -> str:
         """Deprecated shim for ``put("profile", key, profile)``."""
         return self.put("profile", key, profile)
 
     # ------------------------------------------------------------- get / put
-    def _get(self, tier: str, key):
+    def _get(self, tier: str, key: Any) -> Any:
         digest = self.digest(tier, key)
         with self._lock:
             hit = self._mem_for(tier).get(digest)
@@ -413,7 +418,7 @@ class PlanStore:
         with contextlib.suppress(OSError):  # pragma: no cover
             os.utime(path)
 
-    def _put(self, tier: str, key, value) -> str:
+    def _put(self, tier: str, key: Any, value: Any) -> str:
         digest = self.digest(tier, key)
         with self._lock:
             self._mem_for(tier).put(digest, (repr(key), value))
@@ -450,7 +455,7 @@ class PlanStore:
         for mem in self._mem.values():
             mem.pop(digest)
 
-    def _read_manifest(self, manifest_path: Path) -> dict:
+    def _read_manifest(self, manifest_path: Path) -> dict[str, Any]:
         try:
             manifest = json.loads(manifest_path.read_text())
         except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -472,7 +477,8 @@ class PlanStore:
                 f"version {STORE_VERSION}")
         return manifest
 
-    def _verified_load(self, tier: str, payload_path: Path, manifest: dict):
+    def _verified_load(self, tier: str, payload_path: Path,
+                       manifest: dict[str, Any]) -> Any:
         try:
             payload = payload_path.read_bytes()
         except OSError as exc:
@@ -502,7 +508,7 @@ class PlanStore:
                 quarantine=True, cause=exc)
 
     def _write(self, directory: Path, tier: str, digest: str,
-               key_repr: str, value) -> None:
+               key_repr: str, value: Any) -> None:
         directory.mkdir(parents=True, exist_ok=True)
         payload_path = directory / f"{digest}.npz"
         manifest_path = directory / f"{digest}.json"
@@ -537,7 +543,8 @@ class PlanStore:
         """Drop least-recently-used artifacts until under ``max_bytes``."""
         if self.max_bytes is None or self.directory is None:
             return
-        entries = []  # (mtime, total_bytes, payload_path, manifest_path)
+        # (mtime, total_bytes, payload_path, manifest_path)
+        entries: list[tuple[float, int, Path, Path]] = []
         for manifest_path in self._manifests():
             payload_path = manifest_path.with_suffix(".npz")
             try:
@@ -560,12 +567,12 @@ class PlanStore:
             self.stats.evictions += 1
 
     # ----------------------------------------------------------- maintenance
-    def entries(self) -> list[dict]:
+    def entries(self) -> list[dict[str, Any]]:
         """Manifests of every on-disk artifact (oldest-used first)."""
         if self.directory is None:
             return []
         with self._lock:
-            out = []
+            out: list[dict[str, Any]] = []
             for manifest_path in self._manifests_by_mtime():
                 try:
                     manifest = self._read_manifest(manifest_path)
@@ -628,7 +635,7 @@ class PlanStore:
                 count += 1
         return count
 
-    def flush(self, directory=None) -> int:
+    def flush(self, directory: str | Path | None = None) -> int:
         """Write every memory-tier entry to disk; returns how many.
 
         ``directory`` overrides the store's own (required for a
@@ -659,7 +666,7 @@ class PlanStore:
 
     def gc(self, max_age: float | None = None, *,
            keep_other_versions: bool = False, dry_run: bool = False,
-           now: float | None = None) -> dict:
+           now: float | None = None) -> dict[str, int]:
         """Evict artifacts by age and version skew; report reclaimed bytes.
 
         Removes, and reports the bytes of:
@@ -682,8 +689,9 @@ class PlanStore:
         :class:`StoreStats` (``gc_runs``/``gc_removed``/
         ``gc_reclaimed_bytes``).
         """
-        report = {"scanned": 0, "removed": 0, "kept": 0,
-                  "reclaimed_bytes": 0, "run_manifests_removed": 0}
+        report: dict[str, int] = {
+            "scanned": 0, "removed": 0, "kept": 0,
+            "reclaimed_bytes": 0, "run_manifests_removed": 0}
         if self.directory is None:
             return report
         if max_age is not None and max_age < 0:
@@ -760,7 +768,7 @@ class PlanStore:
         return report
 
     # ------------------------------------------------------------- reporting
-    def cache_info(self) -> dict:
+    def cache_info(self) -> dict[str, Any]:
         """Tier occupancy + hit/miss counters (for logs and tests)."""
         with self._lock:
             tiers = {"p1", "hmatrix", "profile", *self._mem}

@@ -545,6 +545,63 @@ def cmd_analyze(args) -> int:
         extra["artifact"] = {"path": str(args.artifact),
                              "verified": artifact_ok}
 
+    if args.threads:
+        from repro.analysis import analyze_lock_order
+
+        report = analyze_lock_order(paths)
+        for finding in report.findings:
+            print(finding.format())
+        unwaived_cycles = sum(1 for f in report.findings if not f.waived)
+        failures += unwaived_cycles
+        extra["lock_order"] = report.to_doc()
+        print(f"analyze: lock graph: {len(report.locks)} lock(s), "
+              f"{len(report.edges)} edge(s), {len(report.cycles)} "
+              f"cycle(s) ({unwaived_cycles} unwaived)")
+        if args.lock_graph:
+            out = Path(args.lock_graph)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(canonical_json(report.summary()))
+            print(f"analyze: lock graph -> {out}")
+    if args.sync_traces:
+        from repro.analysis import certify_sync_trace_dir
+
+        try:
+            sync_results = certify_sync_trace_dir(args.sync_traces)
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"analyze: {exc}", file=sys.stderr)
+            return 2
+        sync_count = 0
+        for name, violations in sorted(sync_results.items()):
+            for violation in violations:
+                print(f"{name}: UNORDERED {violation.format()}")
+                sync_count += 1
+        extra["sync"] = {"traces": len(sync_results),
+                         "violations": sync_count}
+        failures += sync_count
+        print(f"analyze: {len(sync_results)} sync trace(s) certified, "
+              f"{sync_count} happens-before violation(s)")
+    if args.deadlocks:
+        from repro.analysis import explore_default_scenarios
+
+        reports = explore_default_scenarios(runs=args.schedules)
+        schedule_failures = 0
+        inequivalent = 0
+        for name, rep in sorted(reports.items()):
+            inequivalent += rep.inequivalent
+            schedule_failures += len(rep.failures)
+            for run, msg in rep.failures:
+                print(f"{name}: SCHEDULE {msg}", file=sys.stderr)
+        extra["schedules"] = {
+            "scenarios": {name: rep.to_doc()
+                          for name, rep in sorted(reports.items())},
+            "inequivalent": inequivalent,
+            "failures": schedule_failures,
+        }
+        failures += schedule_failures
+        print(f"analyze: {inequivalent} inequivalent schedule(s) explored "
+              f"across {len(reports)} scenario(s), "
+              f"{schedule_failures} failure(s)")
+
     doc = findings_to_doc(findings, extra=extra)
     if args.json:
         out = Path(args.json)
@@ -816,18 +873,36 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "analyze",
         help="project static analysis: lint rules R001-R004, race "
-             "certification, compiled write-set verification")
+             "certification, compiled write-set verification, "
+             "concurrency certification (C001, happens-before, "
+             "schedule exploration)")
     p.add_argument("paths", nargs="*",
                    help="files/directories to lint (default: src/repro)")
     p.add_argument("--strict", action="store_true",
-                   help="exit 1 on any unwaived finding, race, or "
-                        "rejected artifact")
+                   help="exit 1 on any unwaived finding, race, lock-order "
+                        "cycle, happens-before violation, schedule "
+                        "failure, or rejected artifact")
     p.add_argument("--json", default=None,
                    help="write the machine-readable findings JSON here")
     p.add_argument("--races", default=None, metavar="DIR",
                    help="certify every engine access trace (*.json) in DIR")
     p.add_argument("--artifact", default=None, metavar="NPZ",
                    help="verify a compiled artifact's write sets")
+    p.add_argument("--threads", action="store_true",
+                   help="build + certify the static lock-acquisition "
+                        "graph (rule C001: acyclic)")
+    p.add_argument("--lock-graph", default=None, metavar="JSON",
+                   help="with --threads, write the canonical lock-graph "
+                        "summary here (the golden-file shape)")
+    p.add_argument("--sync-traces", default=None, metavar="DIR",
+                   help="replay every sync trace (*.synctrace.json) in "
+                        "DIR through the happens-before checker")
+    p.add_argument("--deadlocks", action="store_true",
+                   help="explore perturbed thread schedules over the "
+                        "stock serving scenarios (DPOR-lite)")
+    p.add_argument("--schedules", type=int, default=24, metavar="N",
+                   help="perturbation runs per scenario for --deadlocks "
+                        "(default: 24)")
     p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser("info", help="summarise a stored HMatrix")

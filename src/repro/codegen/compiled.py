@@ -60,7 +60,7 @@ from dataclasses import dataclass, field, replace as _dc_replace
 import numpy as np
 
 from repro.analysis.codegen_check import AnalysisError, verify_artifact
-from repro.api.store import ArtifactTier, register_tier
+from repro.api.store import ArtifactTier, PlanStore, register_tier
 from repro.codegen.emit import (
     GeneratedEvaluator,
     _batched_far_tables,
@@ -69,6 +69,7 @@ from repro.codegen.emit import (
     _rank_offsets,
 )
 from repro.core.io import PlanStoreError
+from repro.observability.sync import make_lock, make_rlock
 from repro.host import host_key, host_signature
 from repro.tuning.autotune import AutotuneBackend, register_autotune_backend
 from repro.tuning.profile import hmatrix_fingerprint
@@ -690,8 +691,8 @@ class _Runtime:
         self.plan = plan
         self.fn = fn
         self.workspaces: dict[int, _Workspace] = {}
-        self.lock = threading.Lock()
-        self.calls = 0
+        self.lock = make_lock("_Runtime.lock")
+        self.calls = 0  # guarded-by: self.lock
 
 
 @dataclass
@@ -776,7 +777,8 @@ class CompiledEvaluator:
         else:
             Y = np.zeros_like(W)
             self._rt.fn(W, Y, self._workspace(q))
-            self._rt.calls += 1
+            with self._rt.lock:
+                self._rt.calls += 1
         return Y[:, 0] if squeeze else Y
 
 
@@ -855,14 +857,15 @@ class CompiledCache:
     ``None`` and the caller runs ``order="batched"`` instead.
     """
 
-    def __init__(self, store=None, *, backend: str | None = None,
+    def __init__(self, store: PlanStore | None = None, *,
+                 backend: str | None = None,
                  host: dict | None = None):
         self.store = store
         self.backend = backend
         self.host = dict(host) if host is not None else host_signature()
         self.stats = CompiledStats()
-        self._lock = threading.RLock()
-        self._persisted: set[str] = set()
+        self._lock = make_rlock("CompiledCache._lock")
+        self._persisted: set[str] = set()  # guarded-by: self._lock
 
     def key(self, fingerprint: str) -> tuple:
         return compiled_key(fingerprint, self.host)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import weakref
 from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -33,6 +34,11 @@ from repro.api.policy import (
     resolve_policy,
 )
 from repro.core.hmatrix import HMatrix
+
+if TYPE_CHECKING:  # annotation-only: the real imports stay lazy
+    from repro.api.store import PlanStore
+    from repro.codegen.compiled import CompiledCache
+    from repro.tuning.autotune import Autotuner
 
 __all__ = ["Executor", "matmul", "matmul_many", "DEFAULT_Q_CHUNK"]
 
@@ -72,7 +78,8 @@ class Executor:
 
     def __init__(self, num_threads: int | None = None,
                  policy: ExecutionPolicy | None = None,
-                 store=None, autotuner=None):
+                 store: PlanStore | None = None,
+                 autotuner: Autotuner | None = None):
         """``num_threads=None`` or 1 runs serially (no pool)."""
         self.policy = resolve_policy(policy, num_threads=num_threads)
         self.num_threads = self.policy.num_threads
@@ -104,7 +111,7 @@ class Executor:
 
     # -------------------------------------------------------------- tuning
     @property
-    def autotuner(self):
+    def autotuner(self) -> Autotuner:
         """This executor's :class:`~repro.tuning.Autotuner` (lazy).
 
         Backed by the executor's ``store`` when one was given (profiles
@@ -125,7 +132,7 @@ class Executor:
 
     # ------------------------------------------------------------- compiled
     @property
-    def compiled_cache(self):
+    def compiled_cache(self) -> CompiledCache:
         """This executor's :class:`~repro.codegen.compiled.CompiledCache`.
 
         Backed by the executor's ``store`` when one was given (compiled

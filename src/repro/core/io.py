@@ -47,7 +47,12 @@ class PlanStoreError(RuntimeError):
     a file that does not decode bit-for-bit into a valid artifact raises
     ``PlanStoreError`` rather than leaking a raw ``zipfile``/``numpy``/
     ``json`` exception — or, worse, a silently wrong matrix.
+
+    ``quarantine`` is set by the store's integrity checks when the
+    offending file pair was moved aside rather than deleted.
     """
+
+    quarantine: bool = False
 
 
 def _guard_load(what: str, path, loader):

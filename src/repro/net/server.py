@@ -56,6 +56,7 @@ from repro.net.protocol import (
     plan_from_doc,
 )
 from repro.net.tenants import QuotaExceeded, TenantQuota, TenantRegistry
+from repro.observability.sync import make_lock
 
 __all__ = ["KernelServer", "AuditLog"]
 
@@ -77,9 +78,9 @@ class AuditLog:
     def __init__(self, path):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._lock = threading.Lock()
-        self.lines = 0
-        self.write_failures = 0
+        self._lock = make_lock("AuditLog._lock")
+        self.lines = 0  # guarded-by: self._lock
+        self.write_failures = 0  # guarded-by: self._lock
 
     def append(self, record: dict) -> None:
         line = json.dumps(record, sort_keys=True) + "\n"
@@ -90,6 +91,11 @@ class AuditLog:
                 self.lines += 1
             except OSError:
                 self.write_failures += 1
+
+    def snapshot(self) -> tuple[int, int]:
+        """``(lines, write_failures)`` read under the log's lock."""
+        with self._lock:
+            return self.lines, self.write_failures
 
 
 class _Request:
@@ -171,8 +177,8 @@ class KernelServer:
 
         self._draining = False  # guarded-by: self._lock
         self._closed = False  # guarded-by: self._lock
-        self._serving = False  # a serve loop has been entered/launched
-        self._lock = threading.Lock()
+        self._serving = False  # guarded-by: self._lock
+        self._lock = make_lock("KernelServer._lock")
         self._serve_thread: threading.Thread | None = None
         self.started_at = time.time()
         # status class -> count, plus totals (under self._lock).
@@ -216,7 +222,8 @@ class KernelServer:
     def start(self) -> "KernelServer":
         """Serve in a background thread (tests, embedding); returns self."""
         if self._serve_thread is None:
-            self._serving = True
+            with self._lock:
+                self._serving = True
             self._serve_thread = threading.Thread(
                 target=self._httpd.serve_forever,
                 name="kernel-server-accept", daemon=True)
@@ -225,12 +232,14 @@ class KernelServer:
 
     def serve_forever(self) -> None:
         """Blocking accept loop (the CLI path)."""
-        self._serving = True
+        with self._lock:
+            self._serving = True
         self._httpd.serve_forever()
 
     @property
     def draining(self) -> bool:
-        return self._draining
+        with self._lock:
+            return self._draining
 
     def drain(self, timeout: float | None = None) -> bool:
         """Stop accepting work (503) and wait for in-flight requests.
@@ -255,8 +264,9 @@ class KernelServer:
                 return
             self._closed = True
             self._draining = True
+            serving = self._serving
         self.tenants.drain_all(timeout)
-        if self._serving:
+        if serving:
             # stops serve_forever (ours or the CLI's). Never started,
             # shutdown() would block forever on the serve-loop event —
             # closing the listener socket below is all there is to do.
@@ -286,8 +296,9 @@ class KernelServer:
                 "tenants_active": len(self.tenants.active()),
             }
         if self.audit is not None:
-            server["audit_lines"] = self.audit.lines
-            server["audit_write_failures"] = self.audit.write_failures
+            lines, write_failures = self.audit.snapshot()
+            server["audit_lines"] = lines
+            server["audit_write_failures"] = write_failures
         return {
             "server": server,
             "tenants": {t.name: t.stats() for t in self.tenants.active()},
@@ -322,7 +333,7 @@ class KernelServer:
         path = handler.path.split("?", 1)[0]
         if method == "GET" and path == "/healthz":
             req.verb = "healthz"
-            status = "draining" if self._draining else "ok"
+            status = "draining" if self.draining else "ok"
             self._send_json(handler, req, 200, {"status": status})
             return
         if method == "GET" and path == "/metrics":
@@ -365,7 +376,7 @@ class KernelServer:
             self._send_json(handler, req, 200, tenant.stats())
             return
         # --- mutating verbs: drain gate, body, quota ---
-        if self._draining:
+        if self.draining:
             self._send_error(handler, req, 503, "draining",
                              "server is draining; retry against another "
                              "replica", headers={"Retry-After": "1"})

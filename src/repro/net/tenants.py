@@ -19,11 +19,12 @@ the dispatcher, not billing-grade metering.
 from __future__ import annotations
 
 import re
-import threading
 import time
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
+
+from repro.observability.sync import make_lock
 
 __all__ = ["Tenant", "TenantQuota", "TenantRegistry", "QuotaExceeded",
            "valid_tenant_name"]
@@ -90,18 +91,20 @@ class Tenant:
         # manifests/ dir at close — per-tenant observability for free.
         self.service = KernelService(store=self.store_root, manifest=True,
                                      **service_kwargs)
-        self._lock = threading.Lock()
-        self._window: deque[tuple[float, int]] = deque()  # (ts, bytes)
-        self._window_bytes = 0
-        self.requests_total = 0
-        self.bytes_total = 0
-        self.rejected_total = 0
+        self._lock = make_lock("Tenant._lock")
+        self._window: deque[tuple[float, int]] = deque()  # guarded-by: self._lock
+        self._window_bytes = 0   # guarded-by: self._lock
+        self.requests_total = 0  # guarded-by: self._lock
+        self.bytes_total = 0     # guarded-by: self._lock
+        self.rejected_total = 0  # guarded-by: self._lock
 
     # ----------------------------------------------------------------- quota
     def _expire(self, now: float) -> None:
         horizon = now - self.quota.window_seconds
         while self._window and self._window[0][0] <= horizon:
             _, nbytes = self._window.popleft()
+            # analysis: waive R002 -- every caller holds self._lock (quota
+            # window helper, never called bare)
             self._window_bytes -= nbytes
 
     def charge(self, nbytes: int, now: float | None = None) -> None:
@@ -170,8 +173,8 @@ class TenantRegistry:
         self.root = Path(root)
         self.quota = quota if quota is not None else TenantQuota()
         self._service_kwargs = dict(service_kwargs)
-        self._tenants: dict[str, Tenant] = {}
-        self._lock = threading.Lock()
+        self._tenants: dict[str, Tenant] = {}  # guarded-by: self._lock
+        self._lock = make_lock("TenantRegistry._lock")
 
     def get(self, name: str) -> Tenant:
         """The tenant named ``name``, created on first touch.

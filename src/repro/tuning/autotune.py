@@ -40,6 +40,7 @@ import weakref
 from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -54,6 +55,7 @@ from repro.metrics.costmodel import (
     PROCESS_BACKEND_MIN_FLOPS,
     executor_policy_priors,
 )
+from repro.observability.sync import make_lock, make_rlock
 from repro.tuning.profile import (
     TuningProfile,
     hmatrix_fingerprint,
@@ -63,6 +65,9 @@ from repro.tuning.profile import (
     policy_pins,
     width_bucket,
 )
+
+if TYPE_CHECKING:  # annotation-only: avoids an api->tuning import cycle
+    from repro.api.store import PlanStore
 
 __all__ = ["AutotuneBackend", "Autotuner", "AutotuneStats",
            "autotune_backends", "default_autotuner",
@@ -213,7 +218,7 @@ class Autotuner:
     threads may share one tuner.
     """
 
-    def __init__(self, store=None, *, reps: int = 2,
+    def __init__(self, store: PlanStore | None = None, *, reps: int = 2,
                  trial_cols: int | None = None,
                  min_measured_flops: float = EXECUTOR_TRIVIAL_FLOPS,
                  host: dict | None = None):
@@ -227,7 +232,7 @@ class Autotuner:
         self.stats = AutotuneStats()
         self._profiles: dict[tuple, TuningProfile] = {}
         self._fingerprints: dict[int, str] = {}
-        self._lock = threading.RLock()
+        self._lock = make_rlock("Autotuner._lock")
         # Per-profile-key mutexes: concurrent first resolutions of the
         # same key must not each run the full measured trial grid.
         self._key_locks: dict[tuple, threading.Lock] = {}
@@ -262,7 +267,8 @@ class Autotuner:
             if prof is not None:
                 self.stats.memory_hits += 1
                 return prof
-            key_lock = self._key_locks.setdefault(key, threading.Lock())
+            key_lock = self._key_locks.setdefault(
+                key, make_lock("Autotuner._key_locks[*]"))
         with key_lock:
             with self._lock:
                 prof = self._profiles.get(key)
@@ -474,7 +480,7 @@ class Autotuner:
 # Module-level convenience layer.
 # --------------------------------------------------------------------------
 
-def tune(H, q: int = 16, store=None, *, reps: int = 2,
+def tune(H, q: int = 16, store: PlanStore | None = None, *, reps: int = 2,
          policy: ExecutionPolicy | None = None,
          trial_cols: int | None = None) -> TuningProfile:
     """One-shot tuning: measure the policy grid for ``H`` at width ``q``.

@@ -2,11 +2,50 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core.inspector import Inspector
 from repro.kernels.gaussian import GaussianKernel
+
+
+@pytest.fixture(autouse=True)
+def _sync_trace_recording(request):
+    """Record a sync trace per test when ``MATROX_SYNC_TRACE_DIR`` is set.
+
+    Mirrors ``MATROX_TRACE_DIR`` for engine traces: the CI analyze job
+    sets the variable while running the service/store/net suites, then
+    replays every dumped trace through ``repro analyze --sync-traces``.
+    Locks built by the ``make_lock``/``make_rlock``/``make_condition``
+    factories *during* the test are traced; ``# guarded-by:`` attributes
+    of the thread-tier classes record every access. Traces touching
+    fewer than two threads are discarded at dump time.
+    """
+    if not os.environ.get("MATROX_SYNC_TRACE_DIR"):
+        yield
+        return
+    from repro.observability.sync import (
+        SyncTracer,
+        default_instrumented_classes,
+        install_sync_tracer,
+        instrument_guarded,
+        maybe_dump_sync_trace,
+        uninstall_sync_tracer,
+    )
+
+    tracer = SyncTracer(request.node.name)
+    undos = [instrument_guarded(cls)
+             for cls in default_instrumented_classes()]
+    install_sync_tracer(tracer)
+    try:
+        yield
+    finally:
+        uninstall_sync_tracer()
+        for undo in undos:
+            undo()
+        maybe_dump_sync_trace(tracer)
 
 
 @pytest.fixture(scope="session")

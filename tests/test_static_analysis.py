@@ -196,11 +196,13 @@ class TestShippedTreeClean:
         findings = lint_paths([REPO_ROOT / "src" / "repro"], base=REPO_ROOT)
         unwaived = [f for f in findings if not f.waived]
         assert unwaived == [], "\n".join(f.format() for f in unwaived)
-        # The tree does carry *waived* wall-clock findings (profiling
-        # and store mtimes legitimately read clocks) — the waiver
-        # machinery is live, not vacuous.
+        # The tree does carry *waived* findings — wall-clock reads
+        # (profiling and store mtimes legitimately sample clocks) and
+        # one quota-refund write whose callers all hold the lock — so
+        # the waiver machinery is live, not vacuous.
         waived = [f for f in findings if f.waived]
-        assert waived and all(f.rule == "R004" for f in waived)
+        assert waived and all(f.rule in ("R002", "R004") for f in waived)
+        assert any(f.rule == "R004" for f in waived)
         assert all(f.waiver_reason for f in waived)
 
 
